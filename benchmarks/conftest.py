@@ -1,0 +1,19 @@
+"""Benchmark-suite configuration.
+
+Benchmarks run macro experiments once (``benchmark.pedantic`` with a
+single round) — they reproduce table/figure *shapes*, not nanosecond
+micro-timings.  Result tables land in ``benchmarks/results/``.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

@@ -1,0 +1,74 @@
+"""Shared sweep logic for the Fig. 7/8 score benchmarks."""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench import (
+    FIGURE_METHODS,
+    BarChart,
+    Table,
+    bench_pairs,
+    bench_scale,
+    load_dataset,
+    make_solution,
+    paper_id_bits,
+)
+from repro.core import vend_score
+from repro.datasets import dataset_names
+from repro.workloads import common_neighbor_pairs, random_pairs
+
+
+def k_values() -> list[int]:
+    """k sweep: {2, 8} by default; REPRO_BENCH_FULL=1 gives the paper's
+    full {2, 4, 8, 16, 32}."""
+    if os.environ.get("REPRO_BENCH_FULL"):
+        return [2, 4, 8, 16, 32]
+    return [2, 8]
+
+
+def score_sweep(pair_kind: str, title: str) -> tuple[Table, dict]:
+    """Evaluate every method × dataset × k on the given pair sampler.
+
+    Returns the rendered table plus a nested result dict
+    ``scores[dataset][k][method]`` for shape assertions.
+    """
+    sampler = {
+        "random": random_pairs,
+        "common": common_neighbor_pairs,
+    }[pair_kind]
+    count = bench_pairs()
+    table = Table(title, ["Dataset", "k", *FIGURE_METHODS])
+    scores: dict = {}
+    for name in dataset_names():
+        graph = load_dataset(name)
+        pairs = sampler(graph, count, seed=101)
+        id_bits = paper_id_bits(name)
+        scores[name] = {}
+        for k in k_values():
+            if k > graph.average_degree():
+                continue
+            row: dict[str, float] = {}
+            for method in FIGURE_METHODS:
+                solution = make_solution(method, k, graph, id_bits=id_bits)
+                report = vend_score(solution, graph, pairs)
+                assert report.false_positives == 0, (
+                    f"{method} produced false positives on {name} (k={k})"
+                )
+                row[method] = report.score
+            scores[name][k] = row
+            table.add_row(
+                name, k, *[f"{row[m]:.3f}" for m in FIGURE_METHODS]
+            )
+    table.add_note(f"{count} sampled pairs per dataset; scale={bench_scale()}")
+    return table, scores
+
+
+def score_chart(title: str, scores: dict, k: int = 8) -> BarChart:
+    """Grouped bar chart of one k-slice, shaped like the paper figure."""
+    chart = BarChart(title, width=40, max_value=1.0)
+    for dataset, per_k in scores.items():
+        row = per_k.get(k) or next(iter(per_k.values()))
+        chart.add_group(dataset, [(m, round(row[m], 3))
+                                  for m in FIGURE_METHODS])
+    return chart

@@ -1,0 +1,59 @@
+"""Ablation — ID bit-width I' (encoding compression, Section V-B).
+
+Sweeping I' at fixed k trades stored-ID capacity against hash-slot
+size: fewer bits per ID admit more explicit IDs and a larger slot
+(higher score), at the cost of a smaller addressable universe.
+
+Shape: the smallest feasible I' gives the best score; score decreases
+monotonically (modulo noise) as I' grows toward I.
+"""
+
+from repro.bench import (
+    Table,
+    bench_pairs,
+    bench_scale,
+    load_dataset,
+    results_dir,
+)
+from repro.core import HybridVend, vend_score
+from repro.workloads import common_neighbor_pairs
+
+K = 4
+DATASET = "as-sk"
+
+
+def test_id_bits_ablation(once):
+    table = Table(
+        f"Ablation — I' (ID bits) sweep ({DATASET}, k={K})",
+        ["I'", "k*", "Score (CommPair)"],
+    )
+    scores = {}
+
+    def run():
+        graph = load_dataset(DATASET)
+        pairs = common_neighbor_pairs(graph, bench_pairs(), seed=51)
+        minimum = max(1, graph.max_vertex_id.bit_length())
+        for id_bits in sorted({minimum, 16, 21, 26, 32}):
+            if id_bits < minimum:
+                continue
+            vend = HybridVend(k=K, id_bits=id_bits)
+            vend.build(graph)
+            report = vend_score(vend, graph, pairs)
+            assert report.false_positives == 0
+            scores[id_bits] = (vend.k_star, report.score)
+            table.add_row(id_bits, vend.k_star, f"{report.score:.4f}")
+        return scores
+
+    once(run)
+    table.add_note(f"scale={bench_scale()}")
+    table.add_note("smaller I' -> larger k* and hash slot -> higher score; "
+                   "the paper tunes I' within [ceil(log2|V|), I]")
+    table.emit(results_dir() / "ablation_idbits.txt")
+
+    widths = sorted(scores)
+    tightest = scores[widths[0]][1]
+    widest = scores[widths[-1]][1]
+    assert tightest >= widest - 0.01, (
+        f"compressed IDs should not lose to full-width IDs: {scores}"
+    )
+    assert scores[widths[0]][0] >= scores[widths[-1]][0], "k* should shrink"

@@ -1,0 +1,80 @@
+"""Case study (Appendix E.3 style) — VEND over a directed graph.
+
+A Pokec-like directed power-law analogue is filtered through
+:class:`~repro.core.directed.DirectedVend` (hybrid base).  Shape: no
+false positives against directed ground truth, high detection on
+random ordered pairs.
+"""
+
+import random
+
+from repro.bench import Table, bench_scale, results_dir
+from repro.core import HybridVend
+from repro.core.directed import DirectedVend
+from repro.graph import DiGraph, powerlaw_graph
+
+K = 8
+
+
+def pokec_like(scale: float, seed: int = 21) -> DiGraph:
+    """Directed analogue: orient each undirected power-law edge
+    randomly, occasionally in both directions (social reciprocity)."""
+    base = powerlaw_graph(max(500, round(4000 * scale)),
+                          avg_degree=27, seed=seed)
+    rng = random.Random(seed)
+    digraph = DiGraph()
+    for v in base.vertices():
+        digraph.add_vertex(v)
+    for u, v in base.edges():
+        if rng.random() < 0.3:
+            digraph.add_edge(u, v)
+            digraph.add_edge(v, u)
+        elif rng.random() < 0.5:
+            digraph.add_edge(u, v)
+        else:
+            digraph.add_edge(v, u)
+    return digraph
+
+
+def test_directed_vend_case_study(once):
+    table = Table(
+        f"Case study — directed VEND (hybrid base, k={K})",
+        ["Pairs", "NEpairs", "Detected", "Score", "False positives"],
+    )
+    outcome = {}
+
+    def run():
+        digraph = pokec_like(bench_scale())
+        vend = DirectedVend(HybridVend(k=K))
+        vend.build(digraph)
+        rng = random.Random(3)
+        vertices = sorted(digraph.vertices())
+        nepairs = detected = false_positives = 0
+        total = 20000
+        for _ in range(total):
+            u, v = rng.sample(vertices, 2)
+            claim = vend.is_nonedge(u, v)
+            if digraph.has_edge(u, v):
+                if claim:
+                    false_positives += 1
+            else:
+                nepairs += 1
+                if claim:
+                    detected += 1
+        outcome.update(
+            total=total, nepairs=nepairs, detected=detected,
+            false_positives=false_positives,
+        )
+        return outcome
+
+    once(run)
+    score = outcome["detected"] / outcome["nepairs"]
+    table.add_row(outcome["total"], outcome["nepairs"],
+                  outcome["detected"], f"{score:.3f}",
+                  outcome["false_positives"])
+    table.add_note("shape: zero false positives on directed queries; "
+                   "high detection on random ordered pairs")
+    table.emit(results_dir() / "case_directed.txt")
+
+    assert outcome["false_positives"] == 0
+    assert score > 0.9

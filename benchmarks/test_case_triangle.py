@@ -1,0 +1,77 @@
+"""Case study (Appendix E.1 style) — triangle counting acceleration.
+
+Both external-memory frameworks (Algorithm 1 edge-iterator and
+Algorithm 2 Trigon-style) run with and without the hyb+ filter over a
+disk-backed store.  Shape: identical counts, fewer disk reads /
+companion bytes with VEND.
+"""
+
+from repro.apps import edge_iterator_count, trigon_count
+from repro.bench import (
+    Table,
+    bench_scale,
+    load_dataset,
+    make_solution,
+    paper_id_bits,
+    results_dir,
+)
+from repro.storage import GraphStore
+
+K = 8
+DATASETS = ["as-sk", "cage"]
+
+
+def test_triangle_counting_acceleration(once, tmp_path):
+    table = Table(
+        f"Case study — triangle counting with/without VEND (k={K})",
+        ["Dataset", "Algorithm", "Triangles", "Plain reads/bytes",
+         "VEND reads/bytes", "Saved"],
+    )
+    measured: dict = {}
+
+    def run():
+        for name in DATASETS:
+            # Triangle counting touches every adjacency list repeatedly;
+            # a half-size instance keeps both frameworks in seconds.
+            graph = load_dataset(name, scale=0.5 * bench_scale())
+            vend = make_solution("hyb+", K, graph,
+                                 id_bits=paper_id_bits(name))
+            store = GraphStore(tmp_path / f"{name}.log")
+            store.bulk_load(graph)
+
+            plain_ei = edge_iterator_count(store)
+            vend_ei = edge_iterator_count(store, vend)
+            saved_reads = 1 - vend_ei.disk_reads / max(1, plain_ei.disk_reads)
+            table.add_row(
+                name, "edge-iterator", plain_ei.triangles,
+                plain_ei.disk_reads, vend_ei.disk_reads,
+                f"{saved_reads:.1%} reads",
+            )
+
+            plain_tri = trigon_count(store, tmp_path / f"{name}-t0", 5000)
+            vend_tri = trigon_count(store, tmp_path / f"{name}-t1", 5000,
+                                    vend=vend)
+            saved_bytes = 1 - vend_tri.companion_bytes / max(
+                1, plain_tri.companion_bytes
+            )
+            table.add_row(
+                name, "trigon", plain_tri.triangles,
+                plain_tri.companion_bytes, vend_tri.companion_bytes,
+                f"{saved_bytes:.1%} bytes",
+            )
+            measured[name] = (plain_ei, vend_ei, plain_tri, vend_tri)
+            store.close()
+        return measured
+
+    once(run)
+    table.add_note(f"scale={bench_scale()}")
+    table.add_note("shape: identical counts; VEND shrinks disk reads and "
+                   "companion files")
+    table.emit(results_dir() / "case_triangle.txt")
+
+    for name, (plain_ei, vend_ei, plain_tri, vend_tri) in measured.items():
+        assert plain_ei.triangles == vend_ei.triangles == \
+            plain_tri.triangles == vend_tri.triangles, f"{name}: count drift"
+        assert vend_ei.disk_reads < plain_ei.disk_reads, name
+        assert vend_tri.companion_bytes < plain_tri.companion_bytes, name
+        assert vend_tri.filtered_triples > 0, name

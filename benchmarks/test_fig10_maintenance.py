@@ -1,0 +1,134 @@
+"""Fig. 10 — maintenance throughput for edge insertions and deletions (k=8).
+
+The paper samples existing edges for deletion and random new pairs for
+insertion, evaluating groups independently and reporting updates/sec
+(vector-update time only; storage commit excluded).
+
+Paper shape: Bloom filters insert faster than hybrid (pure hashing vs
+occasional re-encoding), but SBF/BBF deletion throughput collapses
+(global / full-scan reconstruction) while LBF and hybrid/hyb+ stay
+usable; for our methods insertion throughput exceeds deletion.
+"""
+
+import time
+
+from repro.bench import (
+    BarChart,
+    Table,
+    bench_scale,
+    load_dataset,
+    make_solution,
+    paper_id_bits,
+    results_dir,
+)
+from repro.core import GraphNeighborFetch
+from repro.datasets import dataset_names
+from repro.workloads import sample_deletions, sample_insertions
+
+K = 8
+METHODS = ["SBF", "BBF", "CBF", "LBF", "hybrid", "hyb+"]
+UPDATES = 2000
+TIME_BUDGET = 3.0  # seconds per (dataset, method, op) cell
+
+
+def run_updates(apply_one, updates, budget=TIME_BUDGET):
+    """Apply updates until the list or the time budget runs out."""
+    start = time.perf_counter()
+    done = 0
+    for update in updates:
+        apply_one(update)
+        done += 1
+        if time.perf_counter() - start > budget:
+            break
+    elapsed = time.perf_counter() - start
+    return done / elapsed if elapsed > 0 else float("inf")
+
+
+def insertion_throughput(method, graph, solution):
+    inserts = sample_insertions(graph, min(UPDATES, 1000), seed=5)
+    work = graph.copy()
+    fetch = GraphNeighborFetch(work)
+
+    def apply_one(edge):
+        u, v = edge
+        work.add_edge(u, v)
+        if method in ("SBF", "BBF", "CBF"):
+            solution.insert_edge(u, v)
+        elif method == "LBF":
+            solution.insert_edge(u, v)
+        else:
+            solution.insert_edge(u, v, fetch)
+
+    return run_updates(apply_one, inserts)
+
+
+def deletion_throughput(method, graph, solution):
+    deletions = sample_deletions(graph, UPDATES, seed=6)
+    work = graph.copy()
+    fetch = GraphNeighborFetch(work)
+
+    def apply_one(edge):
+        u, v = edge
+        work.remove_edge(u, v)
+        if method in ("SBF", "BBF"):
+            solution.delete_edge(u, v, work.edges())
+        elif method == "CBF":
+            solution.delete_edge(u, v)
+        else:
+            solution.delete_edge(u, v, fetch)
+
+    return run_updates(apply_one, deletions)
+
+
+def test_fig10_maintenance_throughput(once):
+    table = Table(
+        f"Fig. 10 — maintenance throughput (updates/s, k={K})",
+        ["Dataset", "Method", "Insert/s", "Delete/s"],
+    )
+    measured: dict = {}
+
+    def run():
+        for name in dataset_names():
+            graph = load_dataset(name)
+            measured[name] = {}
+            for method in METHODS:
+                id_bits = paper_id_bits(name)
+                ins_solution = make_solution(method, K, graph, id_bits=id_bits)
+                ins = insertion_throughput(method, graph, ins_solution)
+                del_solution = make_solution(method, K, graph, id_bits=id_bits)
+                dele = deletion_throughput(method, graph, del_solution)
+                measured[name][method] = (ins, dele)
+                table.add_row(name, method, f"{ins:,.0f}", f"{dele:,.0f}")
+        return measured
+
+    once(run)
+    table.add_note(f"time budget {TIME_BUDGET}s per cell; scale={bench_scale()}")
+    table.add_note("paper shape: SBF/BBF deletions collapse; LBF and "
+                   "hybrid/hyb+ stay usable; our inserts > deletes")
+    table.emit(results_dir() / "fig10_maintenance.txt")
+    chart = BarChart("Fig. 10 — deletion throughput (updates/s, log-ish "
+                     "view: bars clamp at 1000)", width=40, max_value=1000,
+                     unit="/s")
+    for name, rows in measured.items():
+        chart.add_group(name, [(m, round(rows[m][1])) for m in METHODS])
+    chart.save(results_dir() / "fig10_maintenance_chart.txt")
+
+    for name, rows in measured.items():
+        sbf_del = rows["SBF"][1]
+        bbf_del = rows["BBF"][1]
+        for ours in ("hybrid", "hyb+"):
+            ins, dele = rows[ours]
+            assert dele > 10 * sbf_del, (
+                f"{name}/{ours}: deletions should dwarf SBF's rebuild "
+                f"({dele:.0f} vs {sbf_del:.0f})"
+            )
+            assert dele > 10 * bbf_del, (
+                f"{name}/{ours}: deletions should dwarf BBF's scan "
+                f"({dele:.0f} vs {bbf_del:.0f})"
+            )
+            assert ins > dele * 0.8, (
+                f"{name}/{ours}: insertion should not be slower than "
+                f"deletion ({ins:.0f} vs {dele:.0f})"
+            )
+        # LBF deletes far faster than SBF (local reconstruction).
+        assert rows["LBF"][1] > 5 * sbf_del, f"{name}: LBF deletion shape"

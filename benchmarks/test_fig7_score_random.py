@@ -1,0 +1,32 @@
+"""Fig. 7 — VEND score on randomly generated vertex pairs.
+
+Paper shape: on random pairs every reasonable method scores high and
+the gaps are small; hybrid/hyb+/SBF sit at the top, and hyb+ >= hybrid.
+"""
+
+from sweep_utils import score_chart, score_sweep
+
+from repro.bench import results_dir
+
+
+def test_fig7_vend_score_random_pairs(once):
+    table, scores = once(
+        score_sweep, "random", "Fig. 7 — VEND score, random pairs"
+    )
+    table.add_note("paper shape: small gaps; hybrid/hyb+/SBF ~equal highest")
+    table.emit(results_dir() / "fig7_score_random.txt")
+    score_chart("Fig. 7 — VEND score, random pairs (k=8 slice)",
+                scores).save(results_dir() / "fig7_score_random_chart.txt")
+
+    for dataset, per_k in scores.items():
+        for k, row in per_k.items():
+            where = f"{dataset} k={k}"
+            # Our methods are at (or essentially at) the top.
+            top = max(row.values())
+            assert row["hyb+"] >= top - 0.05, f"{where}: hyb+ not near top"
+            assert row["hybrid"] >= top - 0.06, f"{where}: hybrid not near top"
+            # hyb+ compression never loses to hybrid by more than noise.
+            assert row["hyb+"] >= row["hybrid"] - 0.01, where
+            # Random pairs are easy: the strong methods all score high.
+            assert row["hybrid"] > 0.85, f"{where}: hybrid score too low"
+            assert row["SBF"] > 0.5, f"{where}: SBF unexpectedly poor"

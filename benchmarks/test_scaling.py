@@ -1,0 +1,65 @@
+"""Scaling study — construction cost and score vs graph size.
+
+Table II implies near-linear construction (Gsh's 988M vertices build
+in 23.6h ≈ the same vertices/second as the small graphs).  This bench
+grows one analogue across scales and checks that build time grows
+about linearly in |E| and that the score stays stable (VEND quality is
+a local property, not a function of graph size).
+"""
+
+from repro.bench import (
+    Table,
+    bench_pairs,
+    load_dataset,
+    make_solution,
+    paper_id_bits,
+    results_dir,
+    timed,
+)
+from repro.core import vend_score
+from repro.workloads import random_pairs
+
+K = 8
+DATASET = "wiki"
+SCALES = [0.125, 0.25, 0.5, 1.0]
+
+
+def test_construction_scaling(once):
+    table = Table(
+        f"Scaling — hybrid construction vs graph size ({DATASET}, k={K})",
+        ["Scale", "|V|", "|E|", "Build", "Edges/s", "Score"],
+    )
+    rows = []
+
+    def run():
+        for scale in SCALES:
+            graph = load_dataset(DATASET, scale=scale)
+            solution, build_time = timed(
+                lambda g=graph: make_solution(
+                    "hybrid", K, g, id_bits=paper_id_bits(DATASET)
+                )
+            )
+            pairs = random_pairs(graph, bench_pairs() // 2, seed=95)
+            report = vend_score(solution, graph, pairs)
+            assert report.false_positives == 0
+            rows.append((scale, graph.num_vertices, graph.num_edges,
+                         build_time, report.score))
+            table.add_row(
+                scale, graph.num_vertices, graph.num_edges,
+                f"{build_time:.2f}s",
+                f"{graph.num_edges / build_time:,.0f}",
+                f"{report.score:.3f}",
+            )
+        return rows
+
+    once(run)
+    table.add_note("shape: edges/s roughly constant (near-linear build); "
+                   "score stable across sizes")
+    table.emit(results_dir() / "scaling_construction.txt")
+
+    # Near-linear: throughput at the largest scale within 4x of the
+    # smallest (Python constant factors drift, asymptotics must not).
+    rates = [edges / build for _, _, edges, build, _ in rows]
+    assert max(rates) < 6 * min(rates), f"superlinear build cost: {rates}"
+    scores = [score for *_, score in rows]
+    assert max(scores) - min(scores) < 0.1, f"score unstable: {scores}"

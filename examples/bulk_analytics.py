@@ -1,0 +1,61 @@
+"""Bulk analytics: millions of determinations via the columnar NDF.
+
+An analytical job (here: estimating the graph's global "closure"
+profile — how many distance-2 pairs are actually closed into
+triangles) needs one edge determination per candidate pair.  The
+columnar snapshot answers them in numpy batches, an order of magnitude
+cheaper per query than the scalar path.
+
+Run:  python examples/bulk_analytics.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import HybridVend
+from repro.core import ColumnarIndex
+from repro.graph import rmat_graph
+from repro.workloads import common_neighbor_pairs
+
+
+def main() -> None:
+    # An R-MAT graph: the skewed-quadrant workload graph databases
+    # benchmark against (Graph500 family).
+    graph = rmat_graph(scale=13, num_edges=80_000, seed=11)
+    print(f"graph: {graph} (avg degree {graph.average_degree():.1f})")
+
+    vend = HybridVend(k=8)
+    vend.build(graph)
+    snapshot = ColumnarIndex(vend)
+    print(f"index: {vend.memory_bytes() // 1024} KiB, columnar snapshot "
+          f"{snapshot.memory_bytes() // 1024} KiB\n")
+
+    pairs = np.asarray(
+        common_neighbor_pairs(graph, 500_000, seed=12), dtype=np.int64
+    )
+
+    start = time.perf_counter()
+    certainly_open = snapshot.query_batch(pairs[:, 0], pairs[:, 1])
+    batch_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    sample = pairs[:20_000]
+    scalar = [vend.is_nonedge(int(u), int(v)) for u, v in sample]
+    scalar_time = (time.perf_counter() - start) / len(sample)
+
+    assert scalar == certainly_open[:20_000].tolist()
+    per_query = batch_time / len(pairs)
+    print(f"{len(pairs):,} distance-2 determinations in {batch_time:.2f}s "
+          f"({per_query * 1e6:.2f}us each; scalar path: "
+          f"{scalar_time * 1e6:.2f}us each, "
+          f"{scalar_time / per_query:.0f}x slower)")
+
+    open_rate = certainly_open.mean()
+    print(f"\n{open_rate:.1%} of sampled distance-2 pairs are *certainly* "
+          "open (no closing edge) — each one an avoided disk access; the "
+          f"remaining {1 - open_rate:.1%} would be checked against storage.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Disk-backed edge queries: the Fig. 1 architecture end to end.
+
+Loads a graph into the file-backed adjacency store, then answers the
+same query batch (a) hitting disk every time, (b) through a hybrid
+VEND filter, and (c) through a standard Bloom filter — printing the
+disk reads each one performed.
+
+Run:  python examples/disk_backed_queries.py
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro import HybridVend
+from repro.apps import EdgeQueryEngine
+from repro.filters import StandardBloomFilter
+from repro.graph import powerlaw_graph
+from repro.storage import GraphStore
+from repro.workloads import mixed_pairs
+
+
+def main() -> None:
+    graph = powerlaw_graph(5_000, avg_degree=16, seed=3)
+    queries = mixed_pairs(graph, 30_000, local_fraction=0.5, seed=4)
+
+    vend = HybridVend(k=8)
+    vend.build(graph)
+    bloom = StandardBloomFilter(k=8)
+    bloom.build(graph)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = GraphStore(Path(tmp) / "adjacency.log")
+        store.bulk_load(graph)
+        print(f"stored {store.num_vertices} adjacency lists "
+              f"({store.stats.bytes_written / 1024:.0f} KiB on disk)\n")
+
+        header = f"{'filter':>10}  {'time':>8}  {'disk reads':>10}  {'filtered':>9}"
+        print(header)
+        print("-" * len(header))
+        for label, filt in (
+            ("none", None),
+            ("SBF", bloom),
+            ("hybrid", vend),
+        ):
+            store.stats.reset()
+            engine = EdgeQueryEngine(store, filt)
+            start = time.perf_counter()
+            for u, v in queries:
+                engine.has_edge(u, v)
+            elapsed = time.perf_counter() - start
+            print(f"{label:>10}  {elapsed:7.2f}s  "
+                  f"{store.stats.disk_reads:>10}  "
+                  f"{engine.stats.filter_rate:>8.1%}")
+        store.close()
+
+    print("\nEvery filtered query is one avoided disk seek+read — the "
+          "entire point of VEND (Fig. 1).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Index tuning: choose k with the analysis toolbox.
+
+Sweeps the dimension k on one graph and prints, per k: memory, the
+peeled (exact) fraction, block-type mix, hash-slot saturation, and the
+score broken down by pair class — the numbers that tell you *which*
+part of the encoding limits detection.
+
+Run:  python examples/index_tuning.py
+"""
+
+from repro import HybridVend
+from repro.core import index_statistics, score_breakdown
+from repro.graph import powerlaw_graph
+from repro.workloads import common_neighbor_pairs
+
+
+def main() -> None:
+    graph = powerlaw_graph(5_000, avg_degree=18, seed=9)
+    pairs = common_neighbor_pairs(graph, 30_000, seed=10)
+    print(f"{graph}, average degree {graph.average_degree():.1f}, "
+          "workload: 30k common-neighbor pairs\n")
+
+    header = (f"{'k':>3}  {'KiB':>6}  {'peeled':>7}  {'slot occ':>8}  "
+              f"{'dec-dec':>8}  {'mixed':>6}  {'core-core':>9}")
+    print(header)
+    print("-" * len(header))
+    for k in (2, 4, 8, 16):
+        vend = HybridVend(k=k)
+        vend.build(graph)
+        stats = index_statistics(vend)
+        split = score_breakdown(vend, graph, pairs)
+        print(f"{k:>3}  {stats.memory_bytes / 1024:>6.0f}  "
+              f"{stats.decodable_fraction:>7.1%}  "
+              f"{stats.mean_slot_occupancy:>8.1%}  "
+              f"{split.decodable_decodable:>8.3f}  {split.mixed:>6.3f}  "
+              f"{split.core_core:>9.3f}")
+
+    print("\nReading the table: peeled pairs are decided exactly (the 1.000 "
+          "columns); the core-core rate — limited by hash-slot saturation — "
+          "is what more dimensions buy you.")
+
+
+if __name__ == "__main__":
+    main()

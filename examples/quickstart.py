@@ -1,0 +1,44 @@
+"""Quickstart: build a VEND index and filter no-result edge queries.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import HybPlusVend, HybridVend, vend_score
+from repro.graph import powerlaw_graph
+from repro.workloads import common_neighbor_pairs, random_pairs
+
+
+def main() -> None:
+    # A scale-free graph like the paper's web/social datasets.
+    graph = powerlaw_graph(10_000, avg_degree=12, seed=0)
+    print(f"graph: {graph}  (average degree "
+          f"{graph.average_degree():.1f})")
+
+    # k is the vector dimension: each vertex gets a k*32-bit in-memory
+    # code.  Higher k -> higher detection rate, linearly more memory.
+    for solution in (HybridVend(k=8), HybPlusVend(k=8)):
+        solution.build(graph)
+        print(f"\n{solution.name}: {solution.memory_bytes() / 1024:.0f} KiB "
+              f"for {graph.num_vertices} vertices "
+              f"(k*={solution.k_star}, I'={solution.id_bits} bits/ID)")
+
+        # Definition 4's contract: is_nonedge(u, v) == True guarantees
+        # there is no edge; False means "ask the database".
+        u, v = 1, 2
+        print(f"  is_nonedge({u}, {v}) = {solution.is_nonedge(u, v)} "
+              f"(ground truth edge: {graph.has_edge(u, v)})")
+
+        # VEND score (Definition 5) over the paper's two workloads.
+        for label, pairs in (
+            ("random pairs", random_pairs(graph, 50_000, seed=1)),
+            ("common-neighbor pairs",
+             common_neighbor_pairs(graph, 50_000, seed=2)),
+        ):
+            report = vend_score(solution, graph, pairs)
+            print(f"  VEND score on {label:>22}: {report.score:.3f} "
+                  f"({report.detected}/{report.nepairs} NEpairs detected, "
+                  f"{report.false_positives} false positives)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Triangle counting on disk, accelerated by VEND (Algorithms 1 & 2).
+
+Counts triangles of a power-law graph stored on disk with both
+external-memory frameworks from the paper, with and without a hyb+
+filter, and reports the saved I/O.
+
+Run:  python examples/triangle_counting.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import HybPlusVend
+from repro.apps import edge_iterator_count, trigon_count
+from repro.graph import powerlaw_graph
+from repro.storage import GraphStore
+
+
+def main() -> None:
+    graph = powerlaw_graph(4_000, avg_degree=14, seed=7)
+    vend = HybPlusVend(k=8)
+    vend.build(graph)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+        store = GraphStore(tmp / "adjacency.log")
+        store.bulk_load(graph)
+
+        print("Algorithm 1 — edge-iterator (adjacency lists on disk)")
+        plain = edge_iterator_count(store)
+        fast = edge_iterator_count(store, vend)
+        assert plain.triangles == fast.triangles
+        print(f"  triangles: {plain.triangles}")
+        print(f"  disk reads: {plain.disk_reads} -> {fast.disk_reads} "
+              f"({fast.skipped_fetches} adjacency fetches skipped by "
+              f"{fast.vend_tests} in-memory NE-tests)\n")
+
+        print("Algorithm 2 — Trigon-style partitioned counting")
+        plain2 = trigon_count(store, tmp / "w0", memory_budget_edges=4_000)
+        fast2 = trigon_count(store, tmp / "w1", memory_budget_edges=4_000,
+                             vend=vend)
+        assert plain2.triangles == fast2.triangles == plain.triangles
+        print(f"  partitions: {plain2.extra['partitions']}")
+        print(f"  companion file: {plain2.companion_bytes} B -> "
+              f"{fast2.companion_bytes} B "
+              f"({fast2.filtered_triples} triples discarded by VEND)")
+        store.close()
+
+
+if __name__ == "__main__":
+    main()

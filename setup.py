@@ -1,0 +1,16 @@
+"""Legacy setup shim: enables `pip install -e .` without the wheel package."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "VEND: vertex encoding for edge nonexistence determination "
+        "(ICDE/TKDE 2023 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

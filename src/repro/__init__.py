@@ -1,0 +1,68 @@
+"""repro — reproduction of "Vertex Encoding for Edge Nonexistence
+Determination With SIMD Acceleration" (VEND, ICDE/TKDE 2023).
+
+The package layers:
+
+- :mod:`repro.graph` — in-memory graph, generators, peeling;
+- :mod:`repro.storage` — the disk-resident adjacency store VEND guards;
+- :mod:`repro.simd` — the SIMD register model and Stream VByte codec;
+- :mod:`repro.core` — VEND solutions (partial, range, hash, bit-hash,
+  hybrid, hyb+), the NDF contract, and score evaluation;
+- :mod:`repro.filters` — Bloom-filter comparators (SBF/BBF/CBF/LBF);
+- :mod:`repro.apps` — edge-query engine, triangle counting, matching;
+- :mod:`repro.workloads` / :mod:`repro.datasets` / :mod:`repro.bench` —
+  experiment machinery reproducing the paper's tables and figures.
+
+Quickstart::
+
+    from repro import HybridVend, vend_score
+    from repro.graph import powerlaw_graph
+    from repro.workloads import random_pairs
+
+    graph = powerlaw_graph(10_000, avg_degree=12, seed=0)
+    vend = HybridVend(k=8)
+    vend.build(graph)
+    report = vend_score(vend, graph, random_pairs(graph, 100_000, seed=1))
+    print(f"VEND score: {report.score:.3f}")
+"""
+
+from .core import (
+    DirectedVend,
+    load_index,
+    save_index,
+    BitHashVend,
+    GraphNeighborFetch,
+    HashVend,
+    HybPlusVend,
+    HybridVend,
+    IdCapacityError,
+    PartialVend,
+    RangeVend,
+    VendSolution,
+    available_solutions,
+    create_solution,
+    exact_vend_score,
+    vend_score,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "VendSolution",
+    "PartialVend",
+    "RangeVend",
+    "HashVend",
+    "BitHashVend",
+    "HybridVend",
+    "HybPlusVend",
+    "DirectedVend",
+    "save_index",
+    "load_index",
+    "IdCapacityError",
+    "GraphNeighborFetch",
+    "available_solutions",
+    "create_solution",
+    "vend_score",
+    "exact_vend_score",
+    "__version__",
+]

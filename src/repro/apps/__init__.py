@@ -1,0 +1,30 @@
+"""Applications that consume VEND: edge queries, triangles, matching."""
+
+from .database import VendGraphDB
+from .clustering import ClusteringStats, average_clustering, local_clustering
+from .edge_query import EdgeQueryEngine, QueryStats
+from .matching import (
+    MatchStats,
+    SubgraphMatcher,
+    clique_pattern,
+    path_pattern,
+    triangle_pattern,
+)
+from .triangle import TriangleStats, edge_iterator_count, trigon_count
+
+__all__ = [
+    "EdgeQueryEngine",
+    "VendGraphDB",
+    "ClusteringStats",
+    "average_clustering",
+    "local_clustering",
+    "QueryStats",
+    "TriangleStats",
+    "edge_iterator_count",
+    "trigon_count",
+    "SubgraphMatcher",
+    "MatchStats",
+    "triangle_pattern",
+    "path_pattern",
+    "clique_pattern",
+]

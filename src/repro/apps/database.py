@@ -1,0 +1,165 @@
+"""``VendGraphDB`` — the integrated storage + VEND facade.
+
+The paper's deployment picture (Fig. 1, Appendix E.1's Neo4j case
+study) is a graph database whose edge-query path consults the
+in-memory VEND codes before touching disk.  This facade packages that
+wiring: one object owning the disk-resident adjacency store and the
+VEND index, keeping them transactionally in step through every update,
+answering edge queries through the filter, and transparently
+rebuilding the index when the ID universe outgrows ``I'``.
+
+The maintenance fetch is the *store itself*, so the disk accesses that
+vector reconstruction occasionally needs (Section V-D) are real reads,
+visible in the same counters as query traffic.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..core import HybPlusVend, HybridVend, IdCapacityError
+from ..core.hybrid import HybridVend as _HybridBase
+from ..graph import Graph
+from ..storage import GraphStore, StorageStats
+from .edge_query import EdgeQueryEngine, QueryStats
+
+__all__ = ["VendGraphDB"]
+
+_METHODS = {"hybrid": HybridVend, "hyb+": HybPlusVend}
+
+
+class VendGraphDB:
+    """A disk-backed graph with VEND-filtered edge queries.
+
+    Parameters
+    ----------
+    path:
+        Backing file for the adjacency log (None = in-memory, tests).
+    k, method:
+        VEND configuration (``"hybrid"`` or ``"hyb+"``).
+    cache_bytes:
+        Block-cache size for the store.
+    """
+
+    def __init__(self, path: str | Path | None = None, k: int = 8,
+                 method: str = "hyb+", cache_bytes: int = 0,
+                 id_bits: int | None = None):
+        if method not in _METHODS:
+            raise ValueError(f"method must be one of {sorted(_METHODS)}")
+        self.store = GraphStore(path, cache_bytes=cache_bytes)
+        self.vend: _HybridBase = _METHODS[method](k=k, id_bits=id_bits)
+        self._engine = EdgeQueryEngine(self.store, self.vend)
+        self.index_rebuilds = 0
+        self._built = False
+
+    # -- loading -----------------------------------------------------------------
+
+    def load_graph(self, graph: Graph) -> None:
+        """Bulk-load a graph into storage and build the index."""
+        self.store.bulk_load(graph)
+        self.vend.build(graph)
+        self._built = True
+
+    def rebuild_index(self) -> None:
+        """Re-encode every vertex from the *stored* adjacency lists."""
+        graph = Graph()
+        for v in self.store.vertices():
+            graph.add_vertex(v)
+        for v in list(self.store.vertices()):
+            for u in self.store.get_neighbors(v):
+                if u < v:
+                    graph.add_edge(u, v)
+        self.vend.build(graph)
+        self.index_rebuilds += 1
+        self._built = True
+
+    # -- reads ------------------------------------------------------------------
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Edge query: VEND filter first, storage only when undecided."""
+        return self._engine.has_edge(u, v)
+
+    def neighbors(self, v: int) -> list[int]:
+        """The stored adjacency list of ``v`` (a disk access)."""
+        return self.store.get_neighbors(v)
+
+    def has_vertex(self, v: int) -> bool:
+        return self.store.has_vertex(v)
+
+    @property
+    def num_vertices(self) -> int:
+        return self.store.num_vertices
+
+    # -- writes ------------------------------------------------------------------
+
+    def add_vertex(self, v: int) -> None:
+        """Register a vertex in storage and the index."""
+        self._require_built()
+        if not self.store.has_vertex(v):
+            self.store.put_neighbors(v, [])
+        try:
+            self.vend.insert_vertex(v)
+        except IdCapacityError:
+            self.rebuild_index()
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Insert an edge; storage first, then the index adjusts.
+
+        Returns False when the edge already existed.
+        """
+        self._require_built()
+        for endpoint in (u, v):
+            self.add_vertex(endpoint)
+        if not self.store.insert_edge(u, v):
+            return False
+        self.vend.insert_edge(u, v, self.store.get_neighbors)
+        return True
+
+    def remove_edge(self, u: int, v: int) -> bool:
+        """Delete an edge; returns False when it did not exist."""
+        self._require_built()
+        if not self.store.delete_edge(u, v):
+            return False
+        self.vend.delete_edge(u, v, self.store.get_neighbors)
+        return True
+
+    def remove_vertex(self, v: int) -> bool:
+        """Delete a vertex and its incident edges everywhere."""
+        self._require_built()
+        if not self.store.has_vertex(v):
+            return False
+        # Scrub the index first: its reconstruction fetches must still
+        # see v's edges in storage.
+        self.vend.delete_vertex(v, self.store.get_neighbors)
+        self.store.delete_vertex(v)
+        return True
+
+    # -- stats / lifecycle ----------------------------------------------------------
+
+    @property
+    def query_stats(self) -> QueryStats:
+        """Edge-query traffic (filtered vs executed)."""
+        return self._engine.stats
+
+    @property
+    def storage_stats(self) -> StorageStats:
+        """Physical I/O counters of the backing store."""
+        return self.store.stats
+
+    def index_memory_bytes(self) -> int:
+        return self.vend.memory_bytes()
+
+    def close(self) -> None:
+        self.store.close()
+
+    def __enter__(self) -> "VendGraphDB":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _require_built(self) -> None:
+        if not self._built:
+            raise RuntimeError(
+                "load_graph() or rebuild_index() must run before updates"
+            )

@@ -1,0 +1,75 @@
+"""Edge-query engine over disk storage with optional VEND filtering.
+
+This is Fig. 1's architecture: queries first consult the in-memory
+NDF; only pairs the filter cannot certify as NEpairs reach the
+disk-resident adjacency store.  The engine's statistics (filtered
+count, executed count, disk reads) drive the Fig. 9 experiment.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..core.base import NonedgeFilter
+from ..storage import GraphStore
+
+__all__ = ["QueryStats", "EdgeQueryEngine"]
+
+
+@dataclass
+class QueryStats:
+    """Aggregate outcome of a query batch."""
+
+    total: int = 0
+    filtered: int = 0      # answered "no edge" by the NDF alone
+    executed: int = 0      # required a storage lookup
+    positives: int = 0     # edges that actually existed
+    elapsed_seconds: float = 0.0
+
+    @property
+    def filter_rate(self) -> float:
+        return self.filtered / self.total if self.total else 0.0
+
+    def reset(self) -> None:
+        for name in self.__dataclass_fields__:
+            setattr(self, name, type(getattr(self, name))())
+
+
+class EdgeQueryEngine:
+    """Answers edge queries, short-circuiting through a VEND filter.
+
+    Parameters
+    ----------
+    store:
+        The disk-backed adjacency store (source of truth).
+    nonedge_filter:
+        Any :class:`~repro.core.base.NonedgeFilter` (VEND solution or
+        Bloom comparator), or None for the paper's Non-VEND baseline.
+    """
+
+    def __init__(self, store: GraphStore,
+                 nonedge_filter: NonedgeFilter | None = None):
+        self.store = store
+        self.nonedge_filter = nonedge_filter
+        self.stats = QueryStats()
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """One edge query: NDF first, storage only when undetermined."""
+        self.stats.total += 1
+        if self.nonedge_filter is not None and self.nonedge_filter.is_nonedge(u, v):
+            self.stats.filtered += 1
+            return False
+        self.stats.executed += 1
+        exists = self.store.has_edge(u, v)
+        if exists:
+            self.stats.positives += 1
+        return exists
+
+    def run(self, pairs: list[tuple[int, int]]) -> QueryStats:
+        """Answer a batch and accumulate wall-clock time."""
+        start = time.perf_counter()
+        for u, v in pairs:
+            self.has_edge(u, v)
+        self.stats.elapsed_seconds += time.perf_counter() - start
+        return self.stats

@@ -1,0 +1,126 @@
+"""Graphflow-style subgraph matching with VEND filtering — Appendix B.
+
+A one-vertex-at-a-time matcher: pattern vertices are bound in a
+connected order; candidates for the next vertex come from the stored
+adjacency of an already-bound neighbor, and every remaining pattern
+edge is verified with an edge query.  When a VEND filter is attached,
+those verification queries are answered in memory for most non-edges,
+saving the disk accesses Graphflow would otherwise issue.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..core.base import NonedgeFilter
+from ..graph import Graph
+from ..storage import GraphStore
+from .edge_query import EdgeQueryEngine
+
+__all__ = ["MatchStats", "SubgraphMatcher", "triangle_pattern",
+           "path_pattern", "clique_pattern"]
+
+
+@dataclass
+class MatchStats:
+    """Outcome of one pattern-matching run."""
+
+    embeddings: int = 0
+    edge_queries: int = 0
+    filtered_queries: int = 0
+    disk_reads: int = 0
+    elapsed_seconds: float = 0.0
+
+
+def triangle_pattern() -> Graph:
+    """K3 — the paper's canonical local query."""
+    return Graph([(1, 2), (2, 3), (1, 3)])
+
+
+def path_pattern(length: int = 3) -> Graph:
+    """A simple path with ``length`` edges."""
+    if length < 1:
+        raise ValueError("path length must be >= 1")
+    return Graph([(i, i + 1) for i in range(1, length + 1)])
+
+
+def clique_pattern(size: int = 4) -> Graph:
+    """K_size."""
+    if size < 2:
+        raise ValueError("clique size must be >= 2")
+    return Graph([
+        (u, v) for u in range(1, size + 1) for v in range(u + 1, size + 1)
+    ])
+
+
+class SubgraphMatcher:
+    """Counts injective embeddings of a small pattern into the store."""
+
+    def __init__(self, store: GraphStore,
+                 nonedge_filter: NonedgeFilter | None = None):
+        self.store = store
+        self.engine = EdgeQueryEngine(store, nonedge_filter)
+
+    def count(self, pattern: Graph) -> MatchStats:
+        """Count embeddings (automorphic images counted separately)."""
+        order = self._binding_order(pattern)
+        stats = MatchStats()
+        start = time.perf_counter()
+        reads_before = self.store.stats.disk_reads
+        self.engine.stats.reset()
+        binding: dict[int, int] = {}
+        self._extend(pattern, order, 0, binding, stats)
+        stats.edge_queries = self.engine.stats.total
+        stats.filtered_queries = self.engine.stats.filtered
+        stats.disk_reads = self.store.stats.disk_reads - reads_before
+        stats.elapsed_seconds = time.perf_counter() - start
+        return stats
+
+    def _binding_order(self, pattern: Graph) -> list[int]:
+        """A connected order: each vertex after the first has a bound
+        neighbor, so candidates always come from one adjacency list."""
+        vertices = sorted(pattern.vertices())
+        if not vertices:
+            raise ValueError("pattern must be non-empty")
+        order = [vertices[0]]
+        remaining = set(vertices[1:])
+        while remaining:
+            nxt = next(
+                (v for v in sorted(remaining)
+                 if any(u in order for u in pattern.neighbors(v))),
+                None,
+            )
+            if nxt is None:
+                raise ValueError("pattern must be connected")
+            order.append(nxt)
+            remaining.discard(nxt)
+        return order
+
+    def _extend(self, pattern: Graph, order: list[int], depth: int,
+                binding: dict[int, int], stats: MatchStats) -> None:
+        if depth == len(order):
+            stats.embeddings += 1
+            return
+        pv = order[depth]
+        bound_neighbors = [u for u in pattern.neighbors(pv) if u in binding]
+        if depth == 0:
+            candidates = sorted(self.store.vertices())
+        else:
+            anchor = binding[bound_neighbors[0]]
+            candidates = self.store.get_neighbors(anchor)
+        used = set(binding.values())
+        for candidate in candidates:
+            if candidate in used:
+                continue
+            # Verify every other pattern edge into the bound prefix.
+            ok = True
+            for u in bound_neighbors[1:] if depth else []:
+                if not self.engine.has_edge(binding[u], candidate):
+                    ok = False
+                    break
+            if not ok:
+                continue
+            binding[pv] = candidate
+            self._extend(pattern, order, depth + 1, binding, stats)
+            del binding[pv]

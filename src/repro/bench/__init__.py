@@ -1,0 +1,31 @@
+"""Benchmark harness: solution factories, datasets, result tables."""
+
+from .harness import (
+    FIGURE_METHODS,
+    SOLUTION_FACTORIES,
+    bench_pairs,
+    bench_scale,
+    load_dataset,
+    make_solution,
+    paper_id_bits,
+    results_dir,
+    timed,
+)
+from .charts import BarChart
+from .tables import Table, format_bytes, format_seconds
+
+__all__ = [
+    "FIGURE_METHODS",
+    "SOLUTION_FACTORIES",
+    "bench_pairs",
+    "bench_scale",
+    "load_dataset",
+    "make_solution",
+    "paper_id_bits",
+    "results_dir",
+    "timed",
+    "Table",
+    "BarChart",
+    "format_bytes",
+    "format_seconds",
+]

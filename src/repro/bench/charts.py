@@ -1,0 +1,63 @@
+"""Text bar charts for figure-style benchmark output.
+
+The paper's Figs. 7-10 are grouped bar charts; the benchmarks persist
+their numbers as tables *and* as these ASCII charts so a results file
+reads like the figure it reproduces.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = ["BarChart"]
+
+
+class BarChart:
+    """A horizontal grouped bar chart rendered in plain text."""
+
+    def __init__(self, title: str, width: int = 50,
+                 max_value: float | None = None, unit: str = ""):
+        if width < 10:
+            raise ValueError("width must be >= 10")
+        self.title = title
+        self.width = width
+        self.max_value = max_value
+        self.unit = unit
+        self._groups: list[tuple[str, list[tuple[str, float]]]] = []
+
+    def add_group(self, label: str, bars: list[tuple[str, float]]) -> None:
+        """One group (e.g. a dataset) of labeled bars (e.g. methods)."""
+        if not bars:
+            raise ValueError("a group needs at least one bar")
+        self._groups.append((label, list(bars)))
+
+    def render(self) -> str:
+        if not self._groups:
+            return f"{self.title}\n(no data)\n"
+        peak = self.max_value
+        if peak is None:
+            peak = max(
+                value for _, bars in self._groups for _, value in bars
+            )
+        peak = max(peak, 1e-12)
+        name_width = max(
+            len(name) for _, bars in self._groups for name, _ in bars
+        )
+        lines = [self.title, "=" * len(self.title)]
+        for label, bars in self._groups:
+            lines.append(f"{label}:")
+            for name, value in bars:
+                filled = round(min(value / peak, 1.0) * self.width)
+                bar = "#" * filled + "." * (self.width - filled)
+                lines.append(
+                    f"  {name.ljust(name_width)} |{bar}| "
+                    f"{value:g}{self.unit}"
+                )
+            lines.append("")
+        return "\n".join(lines).rstrip() + "\n"
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.render())
+        return path

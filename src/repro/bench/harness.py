@@ -1,0 +1,126 @@
+"""Shared machinery for the experiment benchmarks.
+
+Each benchmark file under ``benchmarks/`` reproduces one table or
+figure of the paper.  This module centralizes what they all need:
+solution factories (VEND versions + Bloom comparators), the dataset
+sweep, scale control, and result-directory resolution.
+
+Scale control: set ``REPRO_BENCH_SCALE`` (default 0.5) to grow or
+shrink every dataset, and ``REPRO_BENCH_PAIRS`` (default 20000) for the
+pair-sample sizes.  The defaults keep the full suite at a few minutes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Callable
+
+from ..core import (
+    BitHashVend,
+    HashVend,
+    HybPlusVend,
+    HybridVend,
+    PartialVend,
+    RangeVend,
+)
+from ..datasets import load
+from ..filters import (
+    BlockedBloomFilter,
+    CountingBloomFilter,
+    LocalBloomFilter,
+    StandardBloomFilter,
+)
+from ..graph import Graph
+
+__all__ = [
+    "SOLUTION_FACTORIES",
+    "FIGURE_METHODS",
+    "bench_scale",
+    "bench_pairs",
+    "load_dataset",
+    "make_solution",
+    "paper_id_bits",
+    "results_dir",
+    "timed",
+]
+
+#: name -> factory(k) for everything that can answer ``is_nonedge``.
+SOLUTION_FACTORIES: dict[str, Callable[[int], object]] = {
+    "partial": lambda k: PartialVend(k=k),
+    "range": lambda k: RangeVend(k=k),
+    "hash": lambda k: HashVend(k=k),
+    "bit-hash": lambda k: BitHashVend(k=k),
+    "hybrid": lambda k: HybridVend(k=k),
+    "hyb+": lambda k: HybPlusVend(k=k),
+    "SBF": lambda k: StandardBloomFilter(k=k),
+    "BBF": lambda k: BlockedBloomFilter(k=k),
+    "CBF": lambda k: CountingBloomFilter(k=k),
+    "LBF": lambda k: LocalBloomFilter(k=k),
+}
+
+#: The method lineup of Figs. 7-9 (ordered as the paper's legends).
+FIGURE_METHODS = ["range", "bit-hash", "LBF", "BBF", "SBF", "hybrid", "hyb+"]
+
+_DATASET_CACHE: dict[tuple[str, float], Graph] = {}
+
+
+def bench_scale() -> float:
+    """Dataset scale multiplier for benchmark runs."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+
+def bench_pairs() -> int:
+    """Pair-sample size for score/query benchmarks."""
+    return int(os.environ.get("REPRO_BENCH_PAIRS", "20000"))
+
+
+def load_dataset(name: str, scale: float | None = None) -> Graph:
+    """Load (and memoize) a dataset analogue at the bench scale."""
+    effective = bench_scale() if scale is None else scale
+    key = (name, effective)
+    if key not in _DATASET_CACHE:
+        _DATASET_CACHE[key] = load(name, scale=effective)
+    return _DATASET_CACHE[key]
+
+
+def make_solution(method: str, k: int, graph: Graph,
+                  id_bits: int | None = None):
+    """Build a ready-to-query solution/filter for ``graph``.
+
+    ``id_bits`` fixes the hybrid/hyb+ ``I'`` to the *paper's* universe
+    width (see ``DatasetSpec.paper_id_bits``): the analogues have small
+    IDs, and letting I' shrink would inflate ``k*`` and distort the
+    encoded-vertex ratios relative to Table I.
+    """
+    solution = SOLUTION_FACTORIES[method](k)
+    if id_bits is not None and isinstance(solution, HybridVend):
+        solution._requested_id_bits = min(id_bits, solution.int_bits)
+    solution.build(graph)
+    return solution
+
+
+def paper_id_bits(name: str) -> int:
+    """The real dataset's ID width, from the registry."""
+    from ..datasets import DATASETS
+
+    return DATASETS[name].paper_id_bits
+
+
+def results_dir() -> Path:
+    """``benchmarks/results`` next to the benchmark files."""
+    override = os.environ.get("REPRO_BENCH_RESULTS")
+    if override:
+        path = Path(override)
+    else:
+        path = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def timed(fn: Callable[[], object]) -> tuple[object, float]:
+    """Run ``fn`` once, returning ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start

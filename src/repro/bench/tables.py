@@ -1,0 +1,84 @@
+"""Plain-text result tables for the benchmark harness.
+
+Every benchmark renders its output in the same row/column shape as the
+paper's table or figure, writes it under ``benchmarks/results/``, and
+echoes it to stdout so ``pytest -s`` (or the captured report) shows the
+paper-vs-measured comparison directly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = ["Table", "format_bytes", "format_seconds"]
+
+
+class Table:
+    """A fixed-column text table with a title and optional notes."""
+
+    def __init__(self, title: str, columns: list[str]):
+        self.title = title
+        self.columns = columns
+        self.rows: list[list[str]] = []
+        self.notes: list[str] = []
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.columns)}"
+            )
+        self.rows.append([str(v) for v in values])
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: list[str]) -> str:
+            return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+        parts = [self.title, "=" * len(self.title), line(self.columns),
+                 line(["-" * w for w in widths])]
+        parts.extend(line(row) for row in self.rows)
+        for note in self.notes:
+            parts.append(f"* {note}")
+        return "\n".join(parts) + "\n"
+
+    def save(self, path: str | Path) -> Path:
+        """Write the rendered table; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.render())
+        return path
+
+    def emit(self, path: str | Path) -> None:
+        """Save and also echo to stdout."""
+        self.save(path)
+        print()
+        print(self.render())
+
+
+def format_bytes(num: int) -> str:
+    """Human-readable byte counts (paper-style: 13M, 5.83G)."""
+    value = float(num)
+    for unit in ("B", "K", "M", "G", "T"):
+        if value < 1000 or unit == "T":
+            if unit == "B":
+                return f"{int(value)}{unit}"
+            return f"{value:.1f}{unit}" if value < 10 else f"{value:.0f}{unit}"
+        value /= 1024
+    return f"{num}B"
+
+
+def format_seconds(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 120:
+        return f"{seconds:.2f}s"
+    return f"{seconds / 60:.1f}min"

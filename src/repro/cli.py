@@ -1,0 +1,191 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands cover the basic operational loop of a VEND deployment:
+
+- ``generate`` — synthesize a graph (named analogue or custom
+  power-law) as an edge-list file;
+- ``build`` — encode a graph into a persistent VEND index;
+- ``info`` — describe an index file;
+- ``query`` — run one NEpair determination;
+- ``score`` — evaluate the VEND score on a sampled workload;
+- ``analyze`` — index statistics and per-pair-class score breakdown.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from .core import (
+    HybPlusVend,
+    HybridVend,
+    index_statistics,
+    score_breakdown,
+    vend_score,
+)
+from .core.persistence import load_index, save_index
+from .datasets import dataset_names
+from .datasets import load as load_dataset
+from .graph import powerlaw_graph, read_edge_list, write_edge_list
+from .workloads import common_neighbor_pairs, random_pairs
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="VEND: vertex encoding for edge nonexistence determination",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="synthesize a graph as an edge-list file"
+    )
+    generate.add_argument("--out", required=True, type=Path)
+    source = generate.add_mutually_exclusive_group(required=True)
+    source.add_argument("--dataset", choices=dataset_names())
+    source.add_argument("--powerlaw", nargs=2, metavar=("N", "AVG_DEGREE"))
+    generate.add_argument("--scale", type=float, default=1.0)
+    generate.add_argument("--seed", type=int, default=0)
+
+    build = commands.add_parser("build", help="encode a graph into an index")
+    build.add_argument("--graph", required=True, type=Path)
+    build.add_argument("--out", required=True, type=Path)
+    build.add_argument("--method", choices=["hybrid", "hyb+"],
+                       default="hyb+")
+    build.add_argument("--k", type=int, default=8)
+    build.add_argument("--id-bits", type=int, default=None)
+
+    info = commands.add_parser("info", help="describe an index file")
+    info.add_argument("index", type=Path)
+
+    query = commands.add_parser("query", help="one NEpair determination")
+    query.add_argument("index", type=Path)
+    query.add_argument("u", type=int)
+    query.add_argument("v", type=int)
+
+    score = commands.add_parser("score", help="evaluate the VEND score")
+    score.add_argument("--index", required=True, type=Path)
+    score.add_argument("--graph", required=True, type=Path)
+    score.add_argument("--pairs", type=int, default=100_000)
+    score.add_argument("--workload", choices=["random", "common"],
+                       default="random")
+    score.add_argument("--seed", type=int, default=0)
+
+    analyze = commands.add_parser(
+        "analyze", help="index statistics and score breakdown"
+    )
+    analyze.add_argument("--index", required=True, type=Path)
+    analyze.add_argument("--graph", required=True, type=Path)
+    analyze.add_argument("--pairs", type=int, default=50_000)
+    analyze.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    if args.dataset:
+        graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    else:
+        n, avg_degree = int(args.powerlaw[0]), float(args.powerlaw[1])
+        graph = powerlaw_graph(round(n * args.scale), avg_degree,
+                               seed=args.seed)
+    lines = write_edge_list(graph, args.out)
+    print(f"wrote {args.out}: |V|={graph.num_vertices} |E|={lines} "
+          f"(avg degree {graph.average_degree():.1f})")
+    return 0
+
+
+def _cmd_build(args) -> int:
+    graph = read_edge_list(args.graph)
+    cls = HybridVend if args.method == "hybrid" else HybPlusVend
+    solution = cls(k=args.k, id_bits=args.id_bits)
+    start = time.perf_counter()
+    solution.build(graph)
+    elapsed = time.perf_counter() - start
+    size = save_index(solution, args.out)
+    print(f"built {args.method} (k={args.k}, k*={solution.k_star}, "
+          f"I'={solution.id_bits}) over {graph} in {elapsed:.1f}s")
+    print(f"wrote {args.out}: {size} bytes for {solution.num_codes} codes")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    solution = load_index(args.index)
+    print(f"index: {args.index}")
+    print(f"  solution : {solution.name}")
+    print(f"  k        : {solution.k} ({solution.total_bits} bits/code)")
+    print(f"  I'       : {solution.id_bits} bits per stored ID")
+    print(f"  k*       : {solution.k_star}")
+    print(f"  codes    : {solution.num_codes}")
+    print(f"  memory   : {solution.memory_bytes()} bytes")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    solution = load_index(args.index)
+    if solution.is_nonedge(args.u, args.v):
+        print(f"({args.u}, {args.v}): NO EDGE (certain; skip the database)")
+    else:
+        print(f"({args.u}, {args.v}): UNDETERMINED (execute the edge query)")
+    return 0
+
+
+def _cmd_score(args) -> int:
+    solution = load_index(args.index)
+    graph = read_edge_list(args.graph)
+    if args.workload == "random":
+        pairs = random_pairs(graph, args.pairs, seed=args.seed)
+    else:
+        pairs = common_neighbor_pairs(graph, args.pairs, seed=args.seed)
+    report = vend_score(solution, graph, pairs)
+    print(f"workload  : {args.workload} x {args.pairs}")
+    print(f"NEpairs   : {report.nepairs}")
+    print(f"detected  : {report.detected}")
+    print(f"score     : {report.score:.4f}")
+    print(f"false pos : {report.false_positives}")
+    return 1 if report.false_positives else 0
+
+
+def _cmd_analyze(args) -> int:
+    solution = load_index(args.index)
+    graph = read_edge_list(args.graph)
+    stats = index_statistics(solution)
+    print(f"codes          : {stats.num_codes}")
+    print(f"decodable      : {stats.decodable_codes} "
+          f"({stats.decodable_fraction:.1%})")
+    print(f"exact          : {stats.exact_codes}")
+    print(f"block kinds    : {stats.block_kind_counts}")
+    print(f"mean block size: {stats.mean_block_size:.1f}")
+    print(f"slot occupancy : {stats.mean_slot_occupancy:.1%}")
+    print(f"mean NT frac   : {stats.mean_nt_fraction:.3f}")
+    pairs = common_neighbor_pairs(graph, args.pairs, seed=args.seed)
+    split = score_breakdown(solution, graph, pairs)
+    print("score by pair class (common-neighbor workload):")
+    print(f"  dec-dec  : {split.decodable_decodable:.3f}")
+    print(f"  mixed    : {split.mixed:.3f}")
+    print(f"  core-core: {split.core_core:.3f}")
+    print(f"  counts   : {split.class_counts}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "build": _cmd_build,
+    "info": _cmd_info,
+    "query": _cmd_query,
+    "score": _cmd_score,
+    "analyze": _cmd_analyze,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

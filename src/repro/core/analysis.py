@@ -1,0 +1,180 @@
+"""Index introspection and score diagnostics.
+
+Operators tuning ``k`` / ``I'`` need to see *why* an index scores the
+way it does: how much of the graph peeled into exact codes, what block
+types the core vertices chose, how saturated the hash slots are, and
+which pair classes (peeled/peeled, mixed, core/core) lose detections.
+This module reads built hybrid-family indexes and answers exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..graph import Graph
+from .blocks import BLOCK_EMPTY, BLOCK_LEFT, BLOCK_MIDDLE, BLOCK_RIGHT
+from .hybrid import HybridVend
+
+__all__ = [
+    "CodeDescription",
+    "IndexStatistics",
+    "PairClassScores",
+    "describe_code",
+    "index_statistics",
+    "score_breakdown",
+]
+
+_KIND_NAMES = {
+    BLOCK_LEFT: "leftmost",
+    BLOCK_MIDDLE: "middle",
+    BLOCK_RIGHT: "rightmost",
+    BLOCK_EMPTY: "empty",
+}
+
+
+@dataclass(frozen=True)
+class CodeDescription:
+    """Human-readable breakdown of one vertex's code."""
+
+    vertex: int
+    decodable: bool
+    exact: bool
+    nt_size: int
+    #: Decodable codes: the recorded neighbor IDs.
+    recorded_ids: tuple[int, ...] = ()
+    #: Core codes: block type name, |B|, range, slot occupancy.
+    block_kind: str | None = None
+    block_size: int | None = None
+    block_range: tuple[int, int] | None = None
+    slot_bits: int | None = None
+    slot_occupancy: float | None = None
+
+
+@dataclass
+class IndexStatistics:
+    """Aggregate view over a whole built index."""
+
+    num_codes: int = 0
+    decodable_codes: int = 0
+    exact_codes: int = 0
+    block_kind_counts: dict[str, int] = field(default_factory=dict)
+    mean_block_size: float = 0.0
+    mean_slot_occupancy: float = 0.0
+    mean_nt_fraction: float = 0.0
+    memory_bytes: int = 0
+
+    @property
+    def decodable_fraction(self) -> float:
+        return self.decodable_codes / self.num_codes if self.num_codes else 0.0
+
+
+@dataclass
+class PairClassScores:
+    """Detection rate per pair class (who limits the score?)."""
+
+    decodable_decodable: float = 1.0
+    mixed: float = 1.0
+    core_core: float = 1.0
+    class_counts: dict[str, int] = field(default_factory=dict)
+
+
+def describe_code(solution: HybridVend, v: int) -> CodeDescription:
+    """Decode and summarize ``f^hyb(v)`` / ``f^hyb+(v)``."""
+    code = solution.code_of(v)
+    exact = bool(code.get_bit(solution._EXACT_BIT))
+    nt = solution.nt_size(code)
+    if code.get_bit(0) == 0:
+        return CodeDescription(
+            vertex=v, decodable=True, exact=exact, nt_size=nt,
+            recorded_ids=tuple(solution.decoded_ids(v)),
+        )
+    kind = code.read_field(2, 2)
+    size = code.read_field(4, solution.count_bits)
+    # The slot begins where the layout says it does; hyb+ layouts are
+    # self-describing, so lean on the class's own parser when present.
+    if hasattr(solution, "_parse_core"):
+        parsed = solution._parse_core(code)
+        head, tail = parsed[2], parsed[3]
+        slot_offset, m = parsed[-2], parsed[-1]
+    else:  # pragma: no cover - both classes define _parse_core or not
+        head = tail = None
+        slot_offset = solution._core_header + size * solution.id_bits
+        m = solution.total_bits - slot_offset
+    if size > 0 and head is None:
+        members = solution._read_ids(code, solution._core_header, size)
+        head, tail = members[0], members[-1]
+    occupancy = code.popcount(slot_offset, m) / m if m else 0.0
+    block_range = None
+    if size > 0:
+        block_range = (head, tail)
+    return CodeDescription(
+        vertex=v, decodable=False, exact=exact, nt_size=nt,
+        block_kind=_KIND_NAMES.get(kind, f"?{kind}"), block_size=size,
+        block_range=block_range, slot_bits=m, slot_occupancy=occupancy,
+    )
+
+
+def index_statistics(solution: HybridVend,
+                     sample: list[int] | None = None) -> IndexStatistics:
+    """Aggregate code statistics; ``sample`` restricts the vertices."""
+    stats = IndexStatistics(memory_bytes=solution.memory_bytes())
+    vertices = sample if sample is not None else sorted(solution._codes)
+    universe = max(1, solution._max_id)
+    block_sizes: list[int] = []
+    occupancies: list[float] = []
+    nt_fractions: list[float] = []
+    for v in vertices:
+        description = describe_code(solution, v)
+        stats.num_codes += 1
+        nt_fractions.append(description.nt_size / universe)
+        if description.decodable:
+            stats.decodable_codes += 1
+        else:
+            kind = description.block_kind or "?"
+            stats.block_kind_counts[kind] = (
+                stats.block_kind_counts.get(kind, 0) + 1
+            )
+            block_sizes.append(description.block_size or 0)
+            occupancies.append(description.slot_occupancy or 0.0)
+        if description.exact:
+            stats.exact_codes += 1
+    if block_sizes:
+        stats.mean_block_size = sum(block_sizes) / len(block_sizes)
+    if occupancies:
+        stats.mean_slot_occupancy = sum(occupancies) / len(occupancies)
+    if nt_fractions:
+        stats.mean_nt_fraction = sum(nt_fractions) / len(nt_fractions)
+    return stats
+
+
+def score_breakdown(solution: HybridVend, graph: Graph,
+                    pairs: list[tuple[int, int]]) -> PairClassScores:
+    """Detection rate of NEpairs split by code-class of the endpoints."""
+    detected = {"dec-dec": 0, "mixed": 0, "core-core": 0}
+    totals = {"dec-dec": 0, "mixed": 0, "core-core": 0}
+    for u, v in pairs:
+        if u == v or graph.has_edge(u, v):
+            continue
+        if u not in solution._codes or v not in solution._codes:
+            continue
+        dec_u = solution.is_decodable(u)
+        dec_v = solution.is_decodable(v)
+        if dec_u and dec_v:
+            key = "dec-dec"
+        elif dec_u or dec_v:
+            key = "mixed"
+        else:
+            key = "core-core"
+        totals[key] += 1
+        if solution.is_nonedge(u, v):
+            detected[key] += 1
+
+    def rate(key: str) -> float:
+        return detected[key] / totals[key] if totals[key] else 1.0
+
+    return PairClassScores(
+        decodable_decodable=rate("dec-dec"),
+        mixed=rate("mixed"),
+        core_core=rate("core-core"),
+        class_counts=dict(totals),
+    )

@@ -1,0 +1,142 @@
+"""Common VEND interfaces, registry, and shared helpers.
+
+Every solution (range, hash, bit-hash, hybrid, hyb+) and every Bloom
+comparator implements :class:`NonedgeFilter`: a ``is_nonedge(u, v)``
+predicate that may return True **only** for pairs with no edge (the
+soundness contract of Definition 4), plus maintenance hooks.
+
+``NeighborFetch`` is how maintenance reaches graph storage: hybrid
+deletion on non-decodable vectors must re-read ``N_G(v)`` from disk,
+and the fetch counter lets benchmarks report that cost.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Protocol
+
+from ..graph import Graph
+
+__all__ = [
+    "NonedgeFilter",
+    "VendSolution",
+    "NeighborFetch",
+    "GraphNeighborFetch",
+    "register_solution",
+    "create_solution",
+    "available_solutions",
+]
+
+NeighborFetch = Callable[[int], list[int]]
+
+
+class GraphNeighborFetch:
+    """Neighbor fetch backed by an in-memory graph, with a counter.
+
+    Maintenance code calls this when it must recover a full neighbor
+    set; ``fetches`` counts those storage round-trips.
+    """
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+        self.fetches = 0
+
+    def __call__(self, v: int) -> list[int]:
+        self.fetches += 1
+        return self.graph.sorted_neighbors(v)
+
+
+class NonedgeFilter(Protocol):
+    """Anything that can veto edge queries (VEND solutions, Bloom filters)."""
+
+    def is_nonedge(self, u: int, v: int) -> bool:
+        """True only if ``(u, v)`` is certainly not an edge."""
+        ...
+
+
+class VendSolution(ABC):
+    """Base class for VEND solutions.
+
+    Subclasses set :attr:`name`, build codes in :meth:`build`, and
+    answer :meth:`is_nonedge` in ``O(k)``.  Solutions that support
+    dynamic graphs also implement the ``insert_edge`` / ``delete_edge``
+    / ``insert_vertex`` / ``delete_vertex`` hooks; the base versions
+    raise ``NotImplementedError`` so static baselines stay honest.
+    """
+
+    #: Registry key, e.g. ``"hybrid"``.
+    name: str = "abstract"
+
+    def __init__(self, k: int, int_bits: int = 32):
+        if k < 1:
+            raise ValueError("dimension number k must be >= 1")
+        if int_bits not in (8, 16, 32, 64):
+            raise ValueError("int_bits must be one of 8, 16, 32, 64")
+        self.k = k
+        self.int_bits = int_bits
+
+    @property
+    def total_bits(self) -> int:
+        """Bits per vertex code: ``k * I`` (Section V-C1)."""
+        return self.k * self.int_bits
+
+    @abstractmethod
+    def build(self, graph: Graph) -> None:
+        """Encode every vertex of ``graph`` from scratch."""
+
+    @abstractmethod
+    def is_nonedge(self, u: int, v: int) -> bool:
+        """The NDF: True only when ``(u, v)`` is certainly an NEpair."""
+
+    @abstractmethod
+    def memory_bytes(self) -> int:
+        """Bytes held by the in-memory encoding."""
+
+    def is_nonedge_batch(self, pairs: list[tuple[int, int]]) -> list[bool]:
+        """Answer a batch of pair determinations (API convenience)."""
+        return [self.is_nonedge(u, v) for u, v in pairs]
+
+    # -- maintenance (optional) ------------------------------------------------
+
+    def insert_edge(self, u: int, v: int, fetch: NeighborFetch) -> None:
+        raise NotImplementedError(f"{self.name} does not support edge insertion")
+
+    def delete_edge(self, u: int, v: int, fetch: NeighborFetch) -> None:
+        raise NotImplementedError(f"{self.name} does not support edge deletion")
+
+    def insert_vertex(self, v: int) -> None:
+        raise NotImplementedError(f"{self.name} does not support vertex insertion")
+
+    def delete_vertex(self, v: int, fetch: NeighborFetch) -> None:
+        raise NotImplementedError(f"{self.name} does not support vertex deletion")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(k={self.k}, I={self.int_bits})"
+
+
+_REGISTRY: dict[str, type[VendSolution]] = {}
+
+
+def register_solution(cls: type[VendSolution]) -> type[VendSolution]:
+    """Class decorator adding a solution to the factory registry."""
+    key = cls.name
+    if key in _REGISTRY:
+        raise ValueError(f"solution {key!r} already registered")
+    _REGISTRY[key] = cls
+    return cls
+
+
+def create_solution(name: str, k: int, **kwargs) -> VendSolution:
+    """Instantiate a registered solution by name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown solution {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return cls(k=k, **kwargs)
+
+
+def available_solutions() -> list[str]:
+    """Names of all registered VEND solutions."""
+    return sorted(_REGISTRY)

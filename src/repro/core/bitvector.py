@@ -1,0 +1,119 @@
+"""Fixed-width bit vectors — the physical layout of every VEND code.
+
+The paper treats a vertex vector as a bitset of ``k * I`` bits
+(Section V-C1) carved into bit fields: a flag bit, block-type bits, a
+size field, packed ``I'``-bit vertex IDs, and a hash slot.  This module
+provides that substrate: a bounded bit string over a Python int with
+field read/write, bit tests, and zero-counting (the ``Z`` function of
+Eq. 3 works over slot prefixes).
+
+Bit 0 is the least-significant bit; the paper's "first bit" maps to
+bit 0 here.
+"""
+
+from __future__ import annotations
+
+__all__ = ["BitVector"]
+
+
+class BitVector:
+    """A mutable bit string of fixed length ``num_bits``.
+
+    Backed by an arbitrary-precision int, so all operations are exact
+    regardless of width; writes outside the width raise.
+    """
+
+    __slots__ = ("num_bits", "_value")
+
+    def __init__(self, num_bits: int, value: int = 0):
+        if num_bits <= 0:
+            raise ValueError("num_bits must be positive")
+        if value < 0 or value >> num_bits:
+            raise ValueError(f"value does not fit in {num_bits} bits")
+        self.num_bits = num_bits
+        self._value = value
+
+    # -- whole-vector views ---------------------------------------------------
+
+    @property
+    def value(self) -> int:
+        """The raw integer value of the bit string."""
+        return self._value
+
+    def to_bytes(self) -> bytes:
+        """Little-endian byte serialization, padded to full bytes."""
+        return self._value.to_bytes((self.num_bits + 7) // 8, "little")
+
+    @classmethod
+    def from_bytes(cls, data: bytes, num_bits: int) -> "BitVector":
+        return cls(num_bits, int.from_bytes(data, "little"))
+
+    def copy(self) -> "BitVector":
+        return BitVector(self.num_bits, self._value)
+
+    def clear(self) -> None:
+        self._value = 0
+
+    # -- single bits -----------------------------------------------------------
+
+    def get_bit(self, i: int) -> int:
+        self._check_range(i, 1)
+        return (self._value >> i) & 1
+
+    def set_bit(self, i: int, bit: int = 1) -> None:
+        self._check_range(i, 1)
+        if bit:
+            self._value |= 1 << i
+        else:
+            self._value &= ~(1 << i)
+
+    # -- bit fields ---------------------------------------------------------
+
+    def read_field(self, offset: int, width: int) -> int:
+        """Read ``width`` bits starting at ``offset`` as an unsigned int."""
+        self._check_range(offset, width)
+        return (self._value >> offset) & ((1 << width) - 1)
+
+    def write_field(self, offset: int, width: int, value: int) -> None:
+        """Write ``value`` into ``width`` bits at ``offset``."""
+        self._check_range(offset, width)
+        if value < 0 or value >> width:
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        mask = ((1 << width) - 1) << offset
+        self._value = (self._value & ~mask) | (value << offset)
+
+    # -- counting ---------------------------------------------------------------
+
+    def popcount(self, offset: int = 0, width: int | None = None) -> int:
+        """Number of 1 bits in ``[offset, offset+width)``."""
+        if width is None:
+            width = self.num_bits - offset
+        return self.read_field(offset, width).bit_count()
+
+    def count_zeros(self, offset: int = 0, width: int | None = None) -> int:
+        """Number of 0 bits in ``[offset, offset+width)`` — the Z function."""
+        if width is None:
+            width = self.num_bits - offset
+        return width - self.popcount(offset, width)
+
+    # -- dunder ---------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, BitVector)
+            and other.num_bits == self.num_bits
+            and other._value == self._value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.num_bits, self._value))
+
+    def __repr__(self) -> str:
+        return f"BitVector({self.num_bits}, 0b{self._value:b})"
+
+    def _check_range(self, offset: int, width: int) -> None:
+        if offset < 0 or width < 0 or offset + width > self.num_bits:
+            raise IndexError(
+                f"bit range [{offset}, {offset + width}) outside "
+                f"0..{self.num_bits}"
+            )

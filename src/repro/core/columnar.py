@@ -1,0 +1,167 @@
+"""Columnar batch evaluation of the hybrid NDF.
+
+Analytical pipelines (triangle counting, matching, bulk scoring) issue
+millions of determinations; calling ``is_nonedge`` one pair at a time
+pays Python dispatch per query.  ``ColumnarIndex`` snapshots a built
+hybrid/hyb+ index into numpy columns — flags, exactness, block
+geometry, padded member matrices, and the raw code bits as uint64
+words — and evaluates whole pair batches with array operations: the
+data-parallel execution the paper's SIMD section is about, applied at
+the query level.
+
+The snapshot is read-only; rebuild it after maintenance batches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .blocks import BLOCK_LEFT, BLOCK_MIDDLE, BLOCK_RIGHT
+from .hybrid import HybridVend
+
+__all__ = ["ColumnarIndex"]
+
+#: Sentinel member value no vertex ID can take (IDs are < 2^32).
+_NO_MEMBER = np.uint64(2**63)
+
+
+class ColumnarIndex:
+    """Vectorized, read-only snapshot of a hybrid-family index."""
+
+    def __init__(self, solution: HybridVend):
+        if solution.id_bits == 0:
+            raise ValueError("snapshot requires a built index")
+        self.k = solution.k
+        vertices = sorted(solution._codes)
+        n = len(vertices)
+        max_id = max(vertices) if vertices else 0
+        self._position = np.full(max_id + 2, -1, dtype=np.int64)
+        self._position[vertices] = np.arange(n)
+        width = max(1, solution.k_star)
+
+        self._flags = np.zeros(n, dtype=np.uint8)
+        self._exact = np.zeros(n, dtype=bool)
+        self._kinds = np.zeros(n, dtype=np.uint8)
+        self._lo = np.zeros(n, dtype=np.int64)
+        self._hi = np.zeros(n, dtype=np.int64)
+        self._members = np.full((n, width), _NO_MEMBER, dtype=np.uint64)
+        self._slot_offset = np.zeros(n, dtype=np.int64)
+        self._slot_size = np.ones(n, dtype=np.int64)
+        words = (solution.total_bits + 63) // 64
+        self._words = np.zeros((n, words), dtype=np.uint64)
+
+        for row, v in enumerate(vertices):
+            code = solution._codes[v]
+            raw = int(code.value)
+            for w in range(words):
+                self._words[row, w] = (raw >> (64 * w)) & 0xFFFFFFFFFFFFFFFF
+            self._exact[row] = bool(code.get_bit(solution._EXACT_BIT))
+            if code.get_bit(0) == 0:
+                ids = solution.decoded_ids(v)
+                self._members[row, :len(ids)] = ids
+                continue
+            self._flags[row] = 1
+            kind, members, slot_offset, m = solution.core_layout(code)
+            self._kinds[row] = kind
+            self._members[row, :len(members)] = members
+            if members:
+                self._lo[row] = members[0]
+                self._hi[row] = members[-1]
+            self._slot_offset[row] = slot_offset
+            self._slot_size[row] = m
+
+    @property
+    def num_codes(self) -> int:
+        return len(self._flags)
+
+    # -- vectorized primitives ----------------------------------------------------
+
+    def _rows_of(self, ids: np.ndarray) -> np.ndarray:
+        """Dense row index per vertex ID (-1 for unknown IDs)."""
+        clipped = np.clip(ids, 0, len(self._position) - 1)
+        rows = self._position[clipped]
+        rows[(ids < 0) | (ids >= len(self._position))] = -1
+        return rows
+
+    def _ne_test(self, probes: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        """Vectorized Definition-8 NE-test: probes[i] vs code rows[i]."""
+        safe = np.maximum(rows, 0)
+        is_member = (
+            self._members[safe] == probes[:, None].astype(np.uint64)
+        ).any(axis=1)
+        flags = self._flags[safe]
+        kinds = self._kinds[safe]
+        lo, hi = self._lo[safe], self._hi[safe]
+        in_range = np.zeros(len(probes), dtype=bool)
+        core = flags == 1
+        in_range |= core & (kinds == BLOCK_LEFT) & (probes <= hi)
+        in_range |= core & (kinds == BLOCK_RIGHT) & (probes >= lo)
+        in_range |= core & (kinds == BLOCK_MIDDLE) & (probes >= lo) & (probes <= hi)
+        # Hash-slot bit lookup for the out-of-range core probes.
+        bit_index = self._slot_offset[safe] + probes % self._slot_size[safe]
+        word = self._words[safe, bit_index // 64]
+        bit = (word >> (bit_index % 64).astype(np.uint64)) & np.uint64(1)
+        hash_miss = bit == 0
+        result = np.where(
+            flags == 0,
+            ~is_member,                       # decodable: explicit list
+            np.where(in_range, ~is_member, hash_miss),
+        )
+        return result
+
+    # -- public API --------------------------------------------------------------
+
+    def query_batch(self, pairs_u, pairs_v) -> np.ndarray:
+        """``F^hyb`` over aligned arrays of endpoints.
+
+        Returns a bool array: True = certainly no edge.  Unknown
+        vertices and self-pairs answer False, matching the scalar path.
+        """
+        us = np.asarray(pairs_u, dtype=np.int64)
+        vs = np.asarray(pairs_v, dtype=np.int64)
+        if us.shape != vs.shape:
+            raise ValueError("endpoint arrays must be aligned")
+        rows_u = self._rows_of(us)
+        rows_v = self._rows_of(vs)
+        valid = (rows_u >= 0) & (rows_v >= 0) & (us != vs)
+        pass_v_in_u = self._ne_test(vs, rows_u)  # v against f(u)
+        pass_u_in_v = self._ne_test(us, rows_v)  # u against f(v)
+        flags_u = self._flags[np.maximum(rows_u, 0)]
+        flags_v = self._flags[np.maximum(rows_v, 0)]
+        exact_u = self._exact[np.maximum(rows_u, 0)]
+        exact_v = self._exact[np.maximum(rows_v, 0)]
+
+        both = pass_v_in_u & pass_u_in_v
+        # Mixed flags: the decodable side's α-exact one-sided test.
+        mixed = flags_u != flags_v
+        u_dec = mixed & (flags_u == 0)
+        v_dec = mixed & (flags_v == 0)
+        mixed_result = np.where(
+            u_dec & exact_u, pass_v_in_u,
+            np.where(v_dec & exact_v, pass_u_in_v, both),
+        )
+        # Core/core: exact one-sided OR, else conjunction.
+        core_core = (flags_u == 1) & (flags_v == 1)
+        core_result = (
+            (exact_u & pass_v_in_u) | (exact_v & pass_u_in_v) | both
+        )
+        result = np.where(
+            mixed, mixed_result, np.where(core_core, core_result, both)
+        )
+        return result & valid
+
+    def query_pairs(self, pairs: list[tuple[int, int]]) -> np.ndarray:
+        """Convenience wrapper over a list of ``(u, v)`` tuples."""
+        if not pairs:
+            return np.zeros(0, dtype=bool)
+        array = np.asarray(pairs, dtype=np.int64)
+        return self.query_batch(array[:, 0], array[:, 1])
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the snapshot's arrays."""
+        return (
+            self._position.nbytes + self._flags.nbytes + self._exact.nbytes
+            + self._kinds.nbytes + self._lo.nbytes + self._hi.nbytes
+            + self._members.nbytes + self._slot_offset.nbytes
+            + self._slot_size.nbytes + self._words.nbytes
+        )

@@ -1,0 +1,63 @@
+"""VEND-score estimation — Definition 5 and Section VII-B.
+
+The exact score needs every NEpair, which is quadratic; the paper
+instead samples vertex pairs (random, and common-neighbor for locality)
+and reports the detected fraction.  :func:`vend_score` does the same
+over any pair sample, and :func:`exact_vend_score` enumerates all pairs
+for the small graphs used in tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..graph import Graph
+from .base import NonedgeFilter
+
+__all__ = ["ScoreReport", "vend_score", "exact_vend_score"]
+
+
+@dataclass(frozen=True)
+class ScoreReport:
+    """Outcome of a score evaluation.
+
+    ``score`` is detected / nepairs (1.0 when the sample held none);
+    ``false_positives`` must be 0 for any correct solution and is
+    surfaced so harnesses can assert the soundness contract.
+    """
+
+    nepairs: int
+    detected: int
+    false_positives: int
+    pairs_evaluated: int
+
+    @property
+    def score(self) -> float:
+        return self.detected / self.nepairs if self.nepairs else 1.0
+
+
+def vend_score(solution: NonedgeFilter, graph: Graph,
+               pairs: list[tuple[int, int]]) -> ScoreReport:
+    """Evaluate Definition 5 over a sampled pair set."""
+    nepairs = detected = false_positives = evaluated = 0
+    for u, v in pairs:
+        if u == v:
+            continue
+        evaluated += 1
+        claim = solution.is_nonedge(u, v)
+        if graph.has_edge(u, v):
+            if claim:
+                false_positives += 1
+        else:
+            nepairs += 1
+            if claim:
+                detected += 1
+    return ScoreReport(nepairs, detected, false_positives, evaluated)
+
+
+def exact_vend_score(solution: NonedgeFilter, graph: Graph) -> ScoreReport:
+    """Evaluate the score over every unordered vertex pair (small graphs)."""
+    vertices = sorted(graph.vertices())
+    pairs = list(itertools.combinations(vertices, 2))
+    return vend_score(solution, graph, pairs)

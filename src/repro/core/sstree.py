@@ -1,0 +1,144 @@
+"""SIMD-oriented search tree (SS-tree) — Section VI-A.
+
+An SS-tree over a block ``B`` is a *complete* search tree whose nodes
+hold ``s`` sorted keys each (``s`` = the SIMD scalar value): the
+interior of the block, ``B⁻ = B minus its min and max``, is arranged so
+that a membership probe visits ``O(log_s |B⁻|)`` nodes and each node is
+testable with one ``s``-lane compare.
+
+Construction follows Algorithm 3: the topology is fully determined by
+the node count ``ceil(|B⁻|/s)`` (complete ``(s+1)``-ary shape, BFS node
+IDs), and keys are placed by an in-order walk so the search property
+holds.  The array implementation ``P_B`` (Fig. 5c) lays out
+``[min, max, node_1 keys, node_2 keys, …]`` — the permutation the hyb+
+encoder compresses.
+"""
+
+from __future__ import annotations
+
+from .. import simd
+
+__all__ = ["SSTree"]
+
+
+class SSTree:
+    """A complete s-ary search tree over a sorted block.
+
+    Parameters
+    ----------
+    block:
+        The neighbor block ``B`` in ascending order, ``|B| >= 2``
+        (the two extremes become ``P_B[0]`` / ``P_B[1]``; the rest form
+        the tree).  Blocks of size < 2 have an empty tree.
+    scalar:
+        Keys per node, the SIMD width ``s`` (4 for SSE, Section VI-B).
+    """
+
+    def __init__(self, block: list[int], scalar: int = 4):
+        if scalar < 2:
+            raise ValueError("scalar value s must be >= 2")
+        if any(block[i] >= block[i + 1] for i in range(len(block) - 1)):
+            raise ValueError("block must be strictly ascending")
+        self.scalar = scalar
+        self.block = list(block)
+        if len(block) >= 2:
+            self.head, self.tail = block[0], block[-1]
+            interior = block[1:-1]
+        elif len(block) == 1:
+            self.head = self.tail = block[0]
+            interior = []
+        else:
+            raise ValueError("block must be non-empty")
+        self.num_nodes = -(-len(interior) // scalar) if interior else 0
+        #: node_keys[i] holds the sorted keys of the node with ID i+1.
+        self.node_keys: list[list[int]] = [[] for _ in range(self.num_nodes)]
+        if interior:
+            self._assign_keys(interior)
+
+    # -- construction ------------------------------------------------------------
+
+    def _key_count(self, node_id: int) -> int:
+        """Keys in node ``node_id`` (1-based): all full but the last."""
+        if node_id < self.num_nodes:
+            return self.scalar
+        return len(self.block) - 2 - self.scalar * (self.num_nodes - 1)
+
+    def child_id(self, node_id: int, branch: int) -> int | None:
+        """BFS child ID for ``branch`` in ``1..s+1`` (None if absent)."""
+        child = (node_id - 1) * (self.scalar + 1) + branch + 1
+        return child if child <= self.num_nodes else None
+
+    def _assign_keys(self, interior: list[int]) -> None:
+        """In-order key placement (Algorithm 3's SetElements)."""
+        cursor = 0
+
+        def assign(node_id: int) -> None:
+            nonlocal cursor
+            keys = self.node_keys[node_id - 1]
+            count = self._key_count(node_id)
+            for branch in range(1, count + 1):
+                child = self.child_id(node_id, branch)
+                if child is not None:
+                    assign(child)
+                keys.append(interior[cursor])
+                cursor += 1
+            last_child = self.child_id(node_id, count + 1)
+            if last_child is not None:
+                assign(last_child)
+
+        assign(1)
+        assert cursor == len(interior)
+
+    # -- views ---------------------------------------------------------------------
+
+    def permutation(self) -> list[int]:
+        """The array layout ``P_B``: ``[min, max, node_1, node_2, …]``."""
+        if not self.block:
+            return []
+        if len(self.block) == 1:
+            return [self.head]
+        flat = [self.head, self.tail]
+        for keys in self.node_keys:
+            flat.extend(keys)
+        return flat
+
+    @property
+    def depth(self) -> int:
+        """Number of levels in the tree (0 when empty)."""
+        depth, node_id = 0, 1
+        while node_id <= self.num_nodes:
+            depth += 1
+            node_id = (node_id - 1) * (self.scalar + 1) + 2
+        return depth
+
+    # -- search -----------------------------------------------------------------
+
+    def contains(self, value: int) -> bool:
+        """Membership of ``value`` in the whole block ``B`` (tree search).
+
+        Uses the SIMD lane ops: one compare for membership, one
+        masked-count for branch selection per visited node.
+        """
+        if not self.block:
+            return False
+        if value == self.head or value == self.tail:
+            return True
+        node_id: int | None = 1
+        while node_id is not None and node_id <= self.num_nodes:
+            keys = self.node_keys[node_id - 1]
+            register = simd.lanes(keys, width=self.scalar)
+            active = len(keys)
+            if simd.simd_any(simd.simd_compare_eq(register[:active], value)):
+                return True
+            branch = simd.simd_count_lt(register, value, active) + 1
+            node_id = self.child_id(node_id, branch)
+        return False
+
+    def __len__(self) -> int:
+        return len(self.block)
+
+    def __repr__(self) -> str:
+        return (
+            f"SSTree(|B|={len(self.block)}, s={self.scalar}, "
+            f"nodes={self.num_nodes})"
+        )

@@ -1,0 +1,90 @@
+"""Automatic dimension selection.
+
+The paper leaves ``k`` to the operator (Table I/II show its trade-off:
+memory is linear in k, score grows with it, and k above the average
+degree is pointless — at that point the whole graph fits in memory).
+:func:`choose_k` automates the choice: walk the candidate ladder,
+score each index on a representative workload, and stop at the first
+k meeting the target (or return the best one found).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..graph import Graph
+from .hybrid import HybridVend
+from .score import vend_score
+
+__all__ = ["TuningStep", "TuningResult", "choose_k"]
+
+
+@dataclass(frozen=True)
+class TuningStep:
+    """One evaluated candidate."""
+
+    k: int
+    score: float
+    memory_bytes: int
+    build_seconds: float
+
+
+@dataclass
+class TuningResult:
+    """Outcome of :func:`choose_k`.
+
+    ``solution`` is the built index for ``chosen_k`` — ready to use,
+    no rebuild needed.  ``steps`` records the whole ladder walk.
+    """
+
+    chosen_k: int
+    target_met: bool
+    solution: HybridVend
+    steps: list[TuningStep] = field(default_factory=list)
+
+
+def choose_k(graph: Graph, target_score: float,
+             pairs: list[tuple[int, int]],
+             candidates: tuple[int, ...] = (2, 4, 8, 16, 32),
+             solution_cls: type[HybridVend] = HybridVend,
+             **solution_kwargs) -> TuningResult:
+    """Pick the smallest candidate ``k`` whose score meets the target.
+
+    Candidates above the graph's average degree are skipped (the
+    paper's N/A rule: at that point loading the graph outright beats
+    indexing it).  If no candidate reaches ``target_score``, the
+    best-scoring one is returned with ``target_met=False``.
+    """
+    import time
+
+    if not 0.0 <= target_score <= 1.0:
+        raise ValueError("target_score must be within [0, 1]")
+    if not pairs:
+        raise ValueError("a non-empty workload sample is required")
+    usable = [k for k in sorted(candidates) if k <= graph.average_degree()]
+    if not usable:
+        usable = [min(candidates)]
+    steps: list[TuningStep] = []
+    best: tuple[float, int, HybridVend] | None = None
+    for k in usable:
+        solution = solution_cls(k=k, **solution_kwargs)
+        start = time.perf_counter()
+        solution.build(graph)
+        build_seconds = time.perf_counter() - start
+        report = vend_score(solution, graph, pairs)
+        steps.append(TuningStep(
+            k=k, score=report.score,
+            memory_bytes=solution.memory_bytes(),
+            build_seconds=build_seconds,
+        ))
+        if best is None or report.score > best[0]:
+            best = (report.score, k, solution)
+        if report.score >= target_score:
+            return TuningResult(
+                chosen_k=k, target_met=True, solution=solution, steps=steps
+            )
+    assert best is not None
+    _, chosen_k, solution = best
+    return TuningResult(
+        chosen_k=chosen_k, target_met=False, solution=solution, steps=steps
+    )

@@ -1,0 +1,5 @@
+"""Synthetic analogues of the paper's evaluation datasets."""
+
+from .registry import DATASETS, DatasetSpec, dataset_names, load
+
+__all__ = ["DATASETS", "DatasetSpec", "dataset_names", "load"]

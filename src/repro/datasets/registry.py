@@ -1,0 +1,137 @@
+"""Scaled-down synthetic analogues of the paper's six datasets.
+
+The real evaluation graphs (Table I) range up to 988M vertices and
+25.6B edges — far beyond what a laptop-scale Python reproduction can
+enumerate.  What VEND's behaviour actually depends on is the *degree
+distribution shape* (how much of the graph peels below ``k*``, how
+dense the surviving core is), so each analogue preserves:
+
+- the paper's **average degree** (As-Sk 13, Wiki 28, Uk 40, Gsh 52,
+  Orkut 76, Cage 36);
+- the **power-law / non-power-law** character (Cage is near-regular
+  with ID-local edges; the rest are heavy-tailed);
+
+at a default size of a few thousand vertices so every benchmark runs
+in seconds.  ``scale`` multiplies the vertex count when a larger
+instance is wanted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph import Graph, banded_regular_graph, powerlaw_graph
+
+__all__ = ["DatasetSpec", "DATASETS", "load", "dataset_names"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Recipe for one synthetic analogue.
+
+    ``paper_vertices`` / ``paper_edges`` / ``paper_avg_degree`` record
+    Table I's real-dataset statistics for side-by-side reporting.
+    """
+
+    name: str
+    kind: str                 # "powerlaw" | "banded"
+    vertices: int
+    avg_degree: float
+    power_law: bool
+    exponent: float
+    bandwidth: int
+    seed: int
+    description: str
+    paper_id_bits: int       # ceil(log2 |V|) of the *real* dataset
+    paper_vertices: str
+    paper_edges: str
+    paper_avg_degree: int
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in (
+        DatasetSpec(
+            name="as-sk", kind="powerlaw", vertices=8000, avg_degree=13.0,
+            power_law=True, exponent=2.2, bandwidth=0, seed=11,
+            paper_id_bits=21,
+            description="Internet topology from traceroutes (As-Skitter)",
+            paper_vertices="1.6M", paper_edges="11.0M", paper_avg_degree=13,
+        ),
+        DatasetSpec(
+            name="wiki", kind="powerlaw", vertices=6000, avg_degree=28.0,
+            power_law=True, exponent=2.1, bandwidth=0, seed=12,
+            paper_id_bits=21,
+            description="Wikipedia hyperlink graph",
+            paper_vertices="1.7M", paper_edges="25.4M", paper_avg_degree=28,
+        ),
+        DatasetSpec(
+            name="uk", kind="powerlaw", vertices=6000, avg_degree=40.0,
+            power_law=True, exponent=2.0, bandwidth=0, seed=13,
+            paper_id_bits=26,
+            description=".uk web crawl (UbiCrawler 2005)",
+            paper_vertices="39.4M", paper_edges="783.0M", paper_avg_degree=40,
+        ),
+        DatasetSpec(
+            name="gsh", kind="powerlaw", vertices=5000, avg_degree=52.0,
+            power_law=True, exponent=1.9, bandwidth=0, seed=14,
+            paper_id_bits=30,
+            description="2015 web snapshot (BUbiNG)",
+            paper_vertices="988.4M", paper_edges="25.6B", paper_avg_degree=52,
+        ),
+        DatasetSpec(
+            name="orkut", kind="powerlaw", vertices=3000, avg_degree=76.0,
+            power_law=True, exponent=1.9, bandwidth=0, seed=15,
+            paper_id_bits=22,
+            description="Orkut online social network",
+            paper_vertices="3.0M", paper_edges="117.1M", paper_avg_degree=76,
+        ),
+        DatasetSpec(
+            name="cage", kind="banded", vertices=4000, avg_degree=36.0,
+            power_law=False, exponent=0.0, bandwidth=150, seed=16,
+            paper_id_bits=21,
+            description="CAGE gene-expression tags (non-power-law)",
+            paper_vertices="1.5M", paper_edges="27.1M", paper_avg_degree=36,
+        ),
+    )
+}
+
+
+def dataset_names() -> list[str]:
+    """The six analogue names in the paper's Table I order."""
+    return list(DATASETS)
+
+
+def load(name: str, scale: float = 1.0, seed: int | None = None) -> Graph:
+    """Build the named analogue; ``scale`` multiplies the vertex count."""
+    try:
+        spec = DATASETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {dataset_names()}"
+        ) from None
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    n = max(16, round(spec.vertices * scale))
+    use_seed = spec.seed if seed is None else seed
+    if spec.kind == "banded":
+        return banded_regular_graph(
+            n, degree=round(spec.avg_degree), bandwidth=spec.bandwidth,
+            seed=use_seed,
+        )
+    # The simple-graph projection of the configuration model drops
+    # colliding stubs, landing below the requested mean — calibrate by
+    # re-generating with an inflated target until within 10%.
+    target = spec.avg_degree
+    graph = powerlaw_graph(
+        n, avg_degree=target, exponent=spec.exponent, seed=use_seed
+    )
+    for _ in range(3):
+        realized = graph.average_degree()
+        if realized >= 0.9 * spec.avg_degree:
+            break
+        target = min(target * spec.avg_degree / max(realized, 1.0), n / 3)
+        graph = powerlaw_graph(
+            n, avg_degree=target, exponent=spec.exponent, seed=use_seed
+        )
+    return graph

@@ -1,0 +1,20 @@
+"""Bloom-filter comparators from the paper's evaluation (Section VII-A)."""
+
+from .blocked import BlockedBloomFilter
+from .deletable import DeletableBloomFilter, TernaryBloomFilter
+from .bloom import CountingBloomFilter, StandardBloomFilter, optimal_hash_count
+from .hashing import edge_hash, mix64, vertex_hash
+from .local import LocalBloomFilter
+
+__all__ = [
+    "StandardBloomFilter",
+    "BlockedBloomFilter",
+    "CountingBloomFilter",
+    "LocalBloomFilter",
+    "DeletableBloomFilter",
+    "TernaryBloomFilter",
+    "optimal_hash_count",
+    "edge_hash",
+    "vertex_hash",
+    "mix64",
+]

@@ -1,0 +1,153 @@
+"""Standard and Counting Bloom filters over the edge set — Section VII-A.
+
+**SBF** is the paper's strongest comparator: a ``|V|·k·I``-bit slot
+(the same memory budget as a VEND solution) with the optimal
+``(ln 2 · m) / n`` hash functions over all edges.  A membership miss on
+any probe certifies edge nonexistence, so the NDF contract holds.
+Deleting an edge, however, requires rebuilding the entire filter from
+the surviving edge set — the maintenance weakness Fig. 10 exposes.
+
+**CBF** replaces each position with a 4-bit counter so deletions
+decrement instead of rebuilding; with a quarter of the slots in the
+same memory it pays a much higher false-positive rate, and counters
+saturate (stick at max) rather than overflow so no false negative can
+ever be introduced.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+import numpy as np
+
+from ..graph import Graph
+from .hashing import edge_hash
+
+__all__ = ["StandardBloomFilter", "CountingBloomFilter", "optimal_hash_count"]
+
+
+def optimal_hash_count(slot_bits: int, items: int) -> int:
+    """The classic ``(ln 2 · m) / n``, clamped to ``[1, 16]``."""
+    if items <= 0:
+        return 1
+    return max(1, min(16, round(math.log(2) * slot_bits / items)))
+
+
+class StandardBloomFilter:
+    """Edge-set Bloom filter with VEND-equivalent memory (``|V|·k·I`` bits)."""
+
+    name = "SBF"
+
+    def __init__(self, k: int, int_bits: int = 32, num_hashes: int | None = None):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.int_bits = int_bits
+        self._requested_hashes = num_hashes
+        self.num_hashes = 1
+        self._bits = np.zeros(0, dtype=bool)
+        self.rebuilds = 0
+
+    @property
+    def slot_bits(self) -> int:
+        return len(self._bits)
+
+    def build(self, graph: Graph) -> None:
+        """Size the slot from ``|V|`` and insert every edge."""
+        slot = max(64, graph.num_vertices * self.k * self.int_bits)
+        self.num_hashes = (
+            self._requested_hashes
+            or optimal_hash_count(slot, max(1, graph.num_edges))
+        )
+        self._bits = np.zeros(slot, dtype=bool)
+        for u, v in graph.edges():
+            self.insert_edge(u, v)
+
+    def _positions(self, u: int, v: int) -> list[int]:
+        m = len(self._bits)
+        return [edge_hash(u, v, salt) % m for salt in range(self.num_hashes)]
+
+    def insert_edge(self, u: int, v: int) -> None:
+        for pos in self._positions(u, v):
+            self._bits[pos] = True
+
+    def is_nonedge(self, u: int, v: int) -> bool:
+        if u == v:
+            return False
+        return any(not self._bits[pos] for pos in self._positions(u, v))
+
+    def delete_edge(self, u: int, v: int,
+                    surviving_edges: Iterable[tuple[int, int]]) -> None:
+        """Global reconstruction over the surviving edge set."""
+        self._bits[:] = False
+        for a, b in surviving_edges:
+            if {a, b} != {u, v}:
+                self.insert_edge(a, b)
+        self.rebuilds += 1
+
+    def memory_bytes(self) -> int:
+        return len(self._bits) // 8
+
+
+class CountingBloomFilter:
+    """4-bit-counter Bloom filter (Fan et al. 2000) over the edge set.
+
+    Same memory budget as SBF, so only ``m/4`` counter slots — the
+    higher false-positive rate the paper attributes to CBF.  Saturated
+    counters are never decremented, preserving the no-false-negative
+    guarantee at the cost of a few permanently set positions.
+    """
+
+    name = "CBF"
+
+    COUNTER_BITS = 4
+    COUNTER_MAX = (1 << COUNTER_BITS) - 1
+
+    def __init__(self, k: int, int_bits: int = 32, num_hashes: int | None = None):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.int_bits = int_bits
+        self._requested_hashes = num_hashes
+        self.num_hashes = 1
+        self._counters = np.zeros(0, dtype=np.uint8)
+
+    @property
+    def slot_count(self) -> int:
+        return len(self._counters)
+
+    def build(self, graph: Graph) -> None:
+        slots = max(
+            16, graph.num_vertices * self.k * self.int_bits // self.COUNTER_BITS
+        )
+        self.num_hashes = (
+            self._requested_hashes
+            or optimal_hash_count(slots, max(1, graph.num_edges))
+        )
+        self._counters = np.zeros(slots, dtype=np.uint8)
+        for u, v in graph.edges():
+            self.insert_edge(u, v)
+
+    def _positions(self, u: int, v: int) -> list[int]:
+        m = len(self._counters)
+        return [edge_hash(u, v, salt) % m for salt in range(self.num_hashes)]
+
+    def insert_edge(self, u: int, v: int) -> None:
+        for pos in self._positions(u, v):
+            if self._counters[pos] < self.COUNTER_MAX:
+                self._counters[pos] += 1
+
+    def delete_edge(self, u: int, v: int) -> None:
+        """Decrement counters; saturated counters stay (sound, lossy)."""
+        for pos in self._positions(u, v):
+            if 0 < self._counters[pos] < self.COUNTER_MAX:
+                self._counters[pos] -= 1
+
+    def is_nonedge(self, u: int, v: int) -> bool:
+        if u == v:
+            return False
+        return any(self._counters[pos] == 0 for pos in self._positions(u, v))
+
+    def memory_bytes(self) -> int:
+        return len(self._counters) * self.COUNTER_BITS // 8

@@ -1,0 +1,165 @@
+"""Deletable and Ternary Bloom filters — the Related Work cautionary tales.
+
+The paper's Section II explains why neither variant fits VEND:
+
+**DBF** (Rothenberg et al. 2010) marks slot *regions* collision-free at
+insert time and only resets bits in such regions on deletion.  Bits in
+collided regions stay 1 forever, so the filter's detection power decays
+monotonically under churn ("more and more bits would remain to be 1
+forever") — sound, but eventually useless.
+
+**TBF** (Lim et al. 2017) keeps 2-bit counters whose top state ``3``
+means "3 *or more*".  To avoid DBF-style permanent saturation the
+scheme decrements on every deletion — but a counter at 3 that really
+held four elements now under-counts, and enough deletions zero a
+counter other elements still need: a **false negative**, exactly the
+flaw the paper cites ("counters where collisions happen more than
+twice may lead to false negatives").  We implement the scheme
+faithfully so the test suite can demonstrate the violation;
+:attr:`TernaryBloomFilter.is_vend_safe` is ``False`` and the
+experiment harness never uses it as a VEND filter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import Graph
+from .bloom import optimal_hash_count
+from .hashing import edge_hash
+
+__all__ = ["DeletableBloomFilter", "TernaryBloomFilter"]
+
+
+class DeletableBloomFilter:
+    """Bloom filter with collision-free-region bookkeeping (DBF).
+
+    The slot is split into ``regions``; a bitmap records which regions
+    ever saw two different insertions touch the same bit.  Deletion
+    resets only bits in still-collision-free regions.
+    """
+
+    name = "DBF"
+
+    def __init__(self, k: int, int_bits: int = 32, regions: int = 64,
+                 num_hashes: int | None = None):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if regions < 1:
+            raise ValueError("regions must be >= 1")
+        self.k = k
+        self.int_bits = int_bits
+        self.regions = regions
+        self._requested_hashes = num_hashes
+        self.num_hashes = 1
+        self._bits = np.zeros(0, dtype=bool)
+        self._collided = np.zeros(regions, dtype=bool)
+
+    def build(self, graph: Graph) -> None:
+        slot = max(self.regions, graph.num_vertices * self.k * self.int_bits)
+        self.num_hashes = (
+            self._requested_hashes
+            or optimal_hash_count(slot, max(1, graph.num_edges))
+        )
+        self._bits = np.zeros(slot, dtype=bool)
+        self._collided = np.zeros(self.regions, dtype=bool)
+        for u, v in graph.edges():
+            self.insert_edge(u, v)
+
+    def _positions(self, u: int, v: int) -> list[int]:
+        m = len(self._bits)
+        return [edge_hash(u, v, salt) % m for salt in range(self.num_hashes)]
+
+    def _region(self, position: int) -> int:
+        return position * self.regions // len(self._bits)
+
+    def insert_edge(self, u: int, v: int) -> None:
+        for pos in self._positions(u, v):
+            if self._bits[pos]:
+                # Someone already set this bit: its region is dirty.
+                self._collided[self._region(pos)] = True
+            self._bits[pos] = True
+
+    def delete_edge(self, u: int, v: int) -> None:
+        """Reset only the bits that live in collision-free regions."""
+        for pos in self._positions(u, v):
+            if not self._collided[self._region(pos)]:
+                self._bits[pos] = False
+
+    def is_nonedge(self, u: int, v: int) -> bool:
+        if u == v:
+            return False
+        return any(not self._bits[pos] for pos in self._positions(u, v))
+
+    def permanently_set_fraction(self) -> float:
+        """Share of set bits that can never be cleared again."""
+        if not len(self._bits):
+            return 0.0
+        region_of = np.arange(len(self._bits)) * self.regions // len(self._bits)
+        stuck = self._bits & self._collided[region_of]
+        total = int(self._bits.sum())
+        return float(stuck.sum()) / total if total else 0.0
+
+    def memory_bytes(self) -> int:
+        return len(self._bits) // 8 + self.regions // 8
+
+
+class TernaryBloomFilter:
+    """2-bit-counter Bloom filter (TBF).
+
+    Counter states: 0 (free), 1, 2, and 3 meaning "three or more".
+    Insertions saturate at 3; deletions decrement every non-zero
+    counter — which is where the false-negative hazard lives, and why
+    this filter must never be used for VEND.
+    """
+
+    name = "TBF"
+
+    MAX_STATE = 3
+
+    def __init__(self, k: int, int_bits: int = 32,
+                 num_hashes: int | None = None):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.int_bits = int_bits
+        self._requested_hashes = num_hashes
+        self.num_hashes = 1
+        self._counters = np.zeros(0, dtype=np.uint8)
+
+    #: VEND requires no false negatives; TBF cannot guarantee that.
+    is_vend_safe = False
+
+    def build(self, graph: Graph) -> None:
+        slots = max(16, graph.num_vertices * self.k * self.int_bits // 2)
+        self.num_hashes = (
+            self._requested_hashes
+            or optimal_hash_count(slots, max(1, graph.num_edges))
+        )
+        self._counters = np.zeros(slots, dtype=np.uint8)
+        for u, v in graph.edges():
+            self.insert_edge(u, v)
+
+    def _positions(self, u: int, v: int) -> list[int]:
+        m = len(self._counters)
+        return [edge_hash(u, v, salt) % m for salt in range(self.num_hashes)]
+
+    def insert_edge(self, u: int, v: int) -> None:
+        for pos in self._positions(u, v):
+            if self._counters[pos] < self.MAX_STATE:
+                self._counters[pos] += 1
+
+    def delete_edge(self, u: int, v: int) -> None:
+        """Decrement — the unsound step: state 3 stands for *three or
+        more*, so decrementing it forgets elements beyond the third."""
+        for pos in self._positions(u, v):
+            if self._counters[pos] > 0:
+                self._counters[pos] -= 1
+
+    def is_nonedge(self, u: int, v: int) -> bool:
+        if u == v:
+            return False
+        return any(self._counters[pos] == 0 for pos in self._positions(u, v))
+
+    def memory_bytes(self) -> int:
+        return len(self._counters) * 2 // 8

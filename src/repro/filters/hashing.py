@@ -1,0 +1,34 @@
+"""Deterministic 64-bit mixing hashes for the Bloom-filter family.
+
+Bloom comparators need a family of independent hash functions over
+edges (unordered vertex pairs) and vertices.  We use splitmix64-style
+avalanche mixing — deterministic across runs, well distributed, and
+cheap — with the family index folded into the seed.
+"""
+
+from __future__ import annotations
+
+__all__ = ["mix64", "edge_hash", "vertex_hash"]
+
+_MASK = (1 << 64) - 1
+
+
+def mix64(x: int) -> int:
+    """splitmix64 finalizer: avalanche a 64-bit integer."""
+    x &= _MASK
+    x = (x + 0x9E3779B97F4A7C15) & _MASK
+    z = x
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK
+    return z ^ (z >> 31)
+
+
+def edge_hash(u: int, v: int, salt: int) -> int:
+    """Hash an unordered edge ``{u, v}`` with a family index ``salt``."""
+    lo, hi = (u, v) if u <= v else (v, u)
+    return mix64(mix64(lo) ^ mix64(hi * 0x5851F42D4C957F2D) ^ mix64(salt))
+
+
+def vertex_hash(v: int, salt: int) -> int:
+    """Hash a vertex ID with a family index ``salt``."""
+    return mix64(mix64(v) ^ mix64(salt * 0xD1342543DE82EF95))

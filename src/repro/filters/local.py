@@ -1,0 +1,137 @@
+"""Local Bloom filter (LBF) — Section VII-A.
+
+Like the hybrid solution, LBF peels the graph first: vertices outside
+the core keep an explicit (exact) neighbor list in their ``k·I``-bit
+budget, while each core vertex turns its code into a small private
+Bloom filter over its neighbor IDs.  Deleting an edge only rebuilds the
+one affected per-vertex slot, which is why the paper finds LBF's
+deletions far cheaper than SBF/BBF's global scans.  The paper notes the
+bit-hash VEND version is the one-hash special case of this filter.
+
+A pair is reported as an NEpair only when *each* endpoint misses in the
+other's structure — sound because every edge is recorded on both sides
+(exact lists record residual edges at build time; maintenance records
+new edges in both endpoints).
+"""
+
+from __future__ import annotations
+
+from ..core.base import NeighborFetch
+from ..graph import Graph, peel
+from .bloom import optimal_hash_count
+from .hashing import vertex_hash
+
+__all__ = ["LocalBloomFilter"]
+
+_EXACT = 0
+_BLOOM = 1
+
+
+class LocalBloomFilter:
+    """Per-vertex Bloom slots over the core + exact peeled lists."""
+
+    name = "LBF"
+
+    def __init__(self, k: int, int_bits: int = 32, num_hashes: int | None = None):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.int_bits = int_bits
+        self._requested_hashes = num_hashes
+        self.num_hashes = 1
+        # v -> (_EXACT, frozen id set) or (_BLOOM, slot bits as int)
+        self._codes: dict[int, tuple[int, object]] = {}
+        self.slot_bits = k * int_bits - 1  # one bit marks the kind
+        self._exact_capacity = 0
+        self.slot_rebuilds = 0
+
+    def build(self, graph: Graph) -> None:
+        id_bits = max(1, graph.max_vertex_id.bit_length())
+        self._exact_capacity = max(1, self.slot_bits // id_bits)
+        result = peel(graph, self._exact_capacity + 1)
+        core_degrees = [
+            len(result.core_adjacency[v]) for v in result.core_vertices
+        ]
+        avg_items = (
+            sum(core_degrees) / len(core_degrees) if core_degrees else 1
+        )
+        self.num_hashes = (
+            self._requested_hashes
+            or optimal_hash_count(self.slot_bits, round(avg_items))
+        )
+        self._codes.clear()
+        for v, neighbors in result.residual_neighbors.items():
+            self._codes[v] = (_EXACT, frozenset(neighbors))
+        for v in result.core_vertices:
+            self._codes[v] = (_BLOOM, self._slot(result.core_adjacency[v]))
+
+    # -- slot machinery -----------------------------------------------------------
+
+    def _slot(self, ids) -> int:
+        bits = 0
+        for vid in ids:
+            for salt in range(self.num_hashes):
+                bits |= 1 << (vertex_hash(vid, salt) % self.slot_bits)
+        return bits
+
+    def _misses(self, probe: int, code: tuple[int, object]) -> bool:
+        kind, payload = code
+        if kind == _EXACT:
+            return probe not in payload  # type: ignore[operator]
+        slot: int = payload  # type: ignore[assignment]
+        return any(
+            not (slot >> (vertex_hash(probe, salt) % self.slot_bits)) & 1
+            for salt in range(self.num_hashes)
+        )
+
+    # -- queries ------------------------------------------------------------------
+
+    def is_nonedge(self, u: int, v: int) -> bool:
+        if u == v:
+            return False
+        cu = self._codes.get(u)
+        cv = self._codes.get(v)
+        if cu is None or cv is None:
+            return False
+        return self._misses(v, cu) and self._misses(u, cv)
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def insert_edge(self, u: int, v: int, fetch: NeighborFetch | None = None) -> None:
+        """Record the edge on both sides (exact append or bit set)."""
+        for owner, other in ((u, v), (v, u)):
+            code = self._codes.get(owner)
+            if code is None:
+                self._codes[owner] = (_EXACT, frozenset((other,)))
+                continue
+            kind, payload = code
+            if kind == _EXACT:
+                ids = set(payload) | {other}  # type: ignore[arg-type]
+                if len(ids) <= self._exact_capacity:
+                    self._codes[owner] = (_EXACT, frozenset(ids))
+                else:  # overflow: convert to a private Bloom slot
+                    self._codes[owner] = (_BLOOM, self._slot(ids))
+            else:
+                slot: int = payload  # type: ignore[assignment]
+                for salt in range(self.num_hashes):
+                    slot |= 1 << (vertex_hash(other, salt) % self.slot_bits)
+                self._codes[owner] = (_BLOOM, slot)
+
+    def delete_edge(self, u: int, v: int, fetch: NeighborFetch) -> None:
+        """Exact lists shrink in place; Bloom slots rebuild locally."""
+        for owner, other in ((u, v), (v, u)):
+            code = self._codes.get(owner)
+            if code is None:
+                continue
+            kind, payload = code
+            if kind == _EXACT:
+                self._codes[owner] = (
+                    _EXACT, frozenset(payload) - {other}  # type: ignore[arg-type]
+                )
+            else:
+                survivors = [w for w in fetch(owner) if w != other]
+                self._codes[owner] = (_BLOOM, self._slot(survivors))
+                self.slot_rebuilds += 1
+
+    def memory_bytes(self) -> int:
+        return len(self._codes) * self.k * self.int_bits // 8

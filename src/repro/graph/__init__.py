@@ -1,0 +1,35 @@
+"""Graph substrate: data structures, generators, peeling, and I/O."""
+
+from .csr import CSRGraph
+from .generators import (
+    banded_regular_graph,
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    powerlaw_graph,
+    random_edge_sample,
+    rmat_graph,
+)
+from .graph import DiGraph, Graph
+from .io import read_edge_list, write_edge_list
+from .kcore import PeelResult, core_numbers, peel
+from .metrics import degree_percentile, is_power_law, powerlaw_exponent
+
+__all__ = [
+    "Graph",
+    "CSRGraph",
+    "DiGraph",
+    "PeelResult",
+    "peel",
+    "core_numbers",
+    "powerlaw_graph",
+    "barabasi_albert_graph",
+    "banded_regular_graph",
+    "erdos_renyi_graph",
+    "rmat_graph",
+    "random_edge_sample",
+    "read_edge_list",
+    "powerlaw_exponent",
+    "is_power_law",
+    "degree_percentile",
+    "write_edge_list",
+]

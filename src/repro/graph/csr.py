@@ -1,0 +1,89 @@
+"""Immutable CSR (compressed sparse row) graph snapshot.
+
+The paper's Appendix E.2 compares disk-resident VEND against Aspen, an
+*in-memory* graph framework.  ``CSRGraph`` plays Aspen's role: the
+whole adjacency structure packed into two numpy arrays, answering edge
+queries by binary search with no disk involved.  It is the fair
+"if the graph fits in RAM you don't need VEND" baseline — and the case
+study measures how close disk + VEND gets to it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """Read-only adjacency in CSR form.
+
+    Vertex IDs are remapped to dense ``0..n-1`` internally; public
+    methods accept the original IDs.
+    """
+
+    def __init__(self, graph: Graph):
+        self._ids = np.array(sorted(graph.vertices()), dtype=np.int64)
+        self._index = {int(v): i for i, v in enumerate(self._ids)}
+        degrees = np.array(
+            [graph.degree(int(v)) for v in self._ids], dtype=np.int64
+        )
+        self._offsets = np.zeros(len(self._ids) + 1, dtype=np.int64)
+        np.cumsum(degrees, out=self._offsets[1:])
+        self._targets = np.empty(int(self._offsets[-1]), dtype=np.int64)
+        for i, v in enumerate(self._ids):
+            start, end = self._offsets[i], self._offsets[i + 1]
+            self._targets[start:end] = graph.sorted_neighbors(int(v))
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._ids)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._targets) // 2
+
+    def vertices(self) -> list[int]:
+        return self._ids.tolist()
+
+    def degree(self, v: int) -> int:
+        i = self._index[v]
+        return int(self._offsets[i + 1] - self._offsets[i])
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """The sorted neighbor array of ``v`` (a read-only view)."""
+        i = self._index[v]
+        return self._targets[self._offsets[i]:self._offsets[i + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Binary-search edge query, fully in memory."""
+        i = self._index.get(u)
+        if i is None or v not in self._index:
+            return False
+        start, end = int(self._offsets[i]), int(self._offsets[i + 1])
+        pos = int(np.searchsorted(self._targets[start:end], v))
+        return pos < end - start and int(self._targets[start + pos]) == v
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the CSR arrays (the in-memory cost VEND avoids)."""
+        return (self._ids.nbytes + self._offsets.nbytes
+                + self._targets.nbytes)
+
+    def triangle_count(self) -> int:
+        """In-memory triangle count via sorted-intersection (reference)."""
+        count = 0
+        for i, v in enumerate(self._ids):
+            start, end = int(self._offsets[i]), int(self._offsets[i + 1])
+            adjacency = self._targets[start:end]
+            bigger = adjacency[adjacency > v]
+            for j in bigger:
+                count += int(np.intersect1d(
+                    bigger[bigger > j], self.neighbors(int(j)),
+                    assume_unique=True,
+                ).size)
+        return count
+
+    def __repr__(self) -> str:
+        return f"CSRGraph(|V|={self.num_vertices}, |E|={self.num_edges})"

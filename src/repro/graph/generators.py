@@ -1,0 +1,223 @@
+"""Synthetic graph generators.
+
+The paper evaluates on five power-law web/social graphs plus one
+non-power-law graph (Cage, where "most vertices are of degree larger
+than 10").  These generators produce deterministic scaled-down graphs
+with the same distribution *shape*:
+
+- :func:`powerlaw_graph` — configuration-model graph with Zipf-like
+  degrees, tunable average degree, mirroring As-Sk/Wiki/Uk/Gsh/Orkut.
+- :func:`barabasi_albert_graph` — preferential attachment, an
+  alternative power-law source used in tests.
+- :func:`banded_regular_graph` — near-regular banded graph (every
+  vertex connects to ~d neighbors with nearby IDs), mirroring Cage's
+  non-power-law, locality-heavy structure.
+- :func:`erdos_renyi_graph` — G(n, m) uniform random graph.
+
+All generators take a ``seed`` and return a :class:`~repro.graph.Graph`
+with vertex IDs ``1..n``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = [
+    "powerlaw_graph",
+    "rmat_graph",
+    "barabasi_albert_graph",
+    "banded_regular_graph",
+    "erdos_renyi_graph",
+    "random_edge_sample",
+]
+
+
+def _zipf_degrees(n: int, avg_degree: float, exponent: float,
+                  rng: np.random.Generator) -> np.ndarray:
+    """Draw a degree sequence with a Zipf tail and the target mean.
+
+    The exponent is fitted (bisection — the mean of ``P(d) ∝
+    d^-exponent`` over ``[1, n-1]`` decreases monotonically in the
+    exponent) so the sequence keeps genuine degree-1 mass, like real
+    power-law graphs, instead of rescaling degrees multiplicatively.
+    ``exponent`` seeds the search as an upper bound hint.
+    """
+    support = np.arange(1, n, dtype=np.float64)
+
+    def mean_for(e: float) -> float:
+        weights = support ** (-e)
+        weights /= weights.sum()
+        return float((support * weights).sum())
+
+    lo, hi = 1.01, max(exponent, 4.0)
+    if mean_for(hi) >= avg_degree:
+        fitted = hi
+    elif mean_for(lo) <= avg_degree:
+        fitted = lo
+    else:
+        for _ in range(40):
+            mid = (lo + hi) / 2
+            if mean_for(mid) > avg_degree:
+                lo = mid
+            else:
+                hi = mid
+        fitted = (lo + hi) / 2
+    weights = support ** (-fitted)
+    weights /= weights.sum()
+    degrees = rng.choice(np.arange(1, n), size=n, p=weights)
+    return np.minimum(degrees.astype(np.int64), n - 1)
+
+
+def powerlaw_graph(n: int, avg_degree: float = 10.0, exponent: float = 2.1,
+                   seed: int = 0) -> Graph:
+    """Configuration-model power-law graph with ``n`` vertices.
+
+    Multi-edges and self loops produced by the stub matching are
+    dropped, which is the standard simple-graph projection; the realized
+    average degree is therefore slightly below ``avg_degree``.
+    """
+    if n < 3:
+        raise ValueError("powerlaw_graph needs n >= 3")
+    rng = np.random.default_rng(seed)
+    degrees = _zipf_degrees(n, avg_degree, exponent, rng)
+    stubs = np.repeat(np.arange(1, n + 1), degrees)
+    if len(stubs) % 2:
+        stubs = stubs[:-1]
+    rng.shuffle(stubs)
+    half = len(stubs) // 2
+    us, vs = stubs[:half], stubs[half:]
+    g = Graph()
+    for v in range(1, n + 1):
+        g.add_vertex(v)
+    mask = us != vs
+    for u, v in zip(us[mask].tolist(), vs[mask].tolist()):
+        g.add_edge(u, v)
+    return g
+
+
+def barabasi_albert_graph(n: int, m: int = 4, seed: int = 0) -> Graph:
+    """Barabási–Albert preferential-attachment graph.
+
+    Each new vertex attaches to ``m`` existing vertices chosen
+    proportionally to degree (via the repeated-endpoint trick).
+    """
+    if n <= m:
+        raise ValueError("barabasi_albert_graph needs n > m")
+    rng = random.Random(seed)
+    g = Graph()
+    targets = list(range(1, m + 1))
+    for v in targets:
+        g.add_vertex(v)
+    repeated: list[int] = []
+    for v in range(m + 1, n + 1):
+        chosen = set()
+        while len(chosen) < m:
+            if repeated and rng.random() < 0.9:
+                chosen.add(rng.choice(repeated))
+            else:
+                chosen.add(rng.choice(targets))
+        for t in chosen:
+            g.add_edge(v, t)
+            repeated.append(t)
+            repeated.append(v)
+        targets.append(v)
+    return g
+
+
+def banded_regular_graph(n: int, degree: int = 16, bandwidth: int = 200,
+                         seed: int = 0) -> Graph:
+    """Near-regular graph with banded (local) structure, like Cage.
+
+    Every vertex connects to roughly ``degree`` partners whose IDs fall
+    within ``bandwidth`` of its own, so degrees concentrate around the
+    target (non-power-law) and edges are ID-local.
+    """
+    if degree >= n:
+        raise ValueError("banded_regular_graph needs degree < n")
+    rng = random.Random(seed)
+    g = Graph()
+    for v in range(1, n + 1):
+        g.add_vertex(v)
+    half = max(1, degree // 2)
+    for v in range(1, n + 1):
+        attempts = 0
+        added = 0
+        while added < half and attempts < 8 * half:
+            attempts += 1
+            offset = rng.randint(1, bandwidth)
+            u = v + offset
+            if u > n:
+                u = v - offset
+            if u >= 1 and u != v and g.add_edge(v, u):
+                added += 1
+    return g
+
+
+def rmat_graph(scale: int, num_edges: int,
+               a: float = 0.57, b: float = 0.19, c: float = 0.19,
+               seed: int = 0) -> Graph:
+    """R-MAT (recursive matrix) graph — the Graph500 workload family.
+
+    ``2^scale`` vertices; each edge lands in the adjacency matrix by
+    recursively choosing a quadrant with probabilities ``a, b, c, d``
+    (``d = 1 - a - b - c``).  Skewed quadrants produce the power-law,
+    community-clustered structure graph databases benchmark against.
+    Self loops and duplicates are dropped (simple-graph projection).
+    """
+    if scale < 2:
+        raise ValueError("rmat_graph needs scale >= 2")
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0:
+        raise ValueError("quadrant probabilities must sum to <= 1")
+    rng = np.random.default_rng(seed)
+    n = 1 << scale
+    # Vectorized: one (scale x num_edges) matrix of quadrant draws.
+    draws = rng.random((scale, num_edges))
+    rows = np.zeros(num_edges, dtype=np.int64)
+    cols = np.zeros(num_edges, dtype=np.int64)
+    for level in range(scale):
+        quadrant = draws[level]
+        right = (quadrant >= a) & (quadrant < a + b)
+        lower = (quadrant >= a + b) & (quadrant < a + b + c)
+        diagonal = quadrant >= a + b + c
+        bit = np.int64(1 << (scale - level - 1))
+        cols += bit * (right | diagonal)
+        rows += bit * (lower | diagonal)
+    g = Graph()
+    for v in range(1, n + 1):
+        g.add_vertex(v)
+    mask = rows != cols
+    for u, v in zip((rows[mask] + 1).tolist(), (cols[mask] + 1).tolist()):
+        g.add_edge(u, v)
+    return g
+
+
+def erdos_renyi_graph(n: int, num_edges: int, seed: int = 0) -> Graph:
+    """Uniform random graph G(n, m) with exactly ``num_edges`` edges."""
+    max_edges = n * (n - 1) // 2
+    if num_edges > max_edges:
+        raise ValueError(f"G({n}) holds at most {max_edges} edges")
+    rng = random.Random(seed)
+    g = Graph()
+    for v in range(1, n + 1):
+        g.add_vertex(v)
+    added = 0
+    while added < num_edges:
+        u = rng.randint(1, n)
+        v = rng.randint(1, n)
+        if u != v and g.add_edge(u, v):
+            added += 1
+    return g
+
+
+def random_edge_sample(g: Graph, count: int, seed: int = 0) -> list[tuple[int, int]]:
+    """Sample ``count`` distinct existing edges uniformly at random."""
+    edges = list(g.edges())
+    rng = random.Random(seed)
+    if count >= len(edges):
+        return edges
+    return rng.sample(edges, count)

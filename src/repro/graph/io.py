@@ -1,0 +1,46 @@
+"""Edge-list text I/O.
+
+Real VEND deployments ingest SNAP/LAW-style edge lists (one ``u v`` pair
+per line, ``#`` comments).  These helpers read and write that format so
+examples can round-trip graphs through files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .graph import DiGraph, Graph
+
+__all__ = ["read_edge_list", "write_edge_list"]
+
+
+def read_edge_list(path: str | Path, directed: bool = False) -> Graph | DiGraph:
+    """Parse an edge-list file into a graph.
+
+    Lines starting with ``#`` or ``%`` are comments; blank lines are
+    skipped; self loops are silently dropped (simple-graph semantics).
+    """
+    g: Graph | DiGraph = DiGraph() if directed else Graph()
+    with open(path) as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line[0] in "#%":
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"{path}:{line_no}: expected 'u v', got {line!r}")
+            u, v = int(parts[0]), int(parts[1])
+            if u != v:
+                g.add_edge(u, v)
+    return g
+
+
+def write_edge_list(graph: Graph | DiGraph, path: str | Path) -> int:
+    """Write the graph as an edge list; returns the number of lines."""
+    count = 0
+    with open(path, "w") as handle:
+        handle.write(f"# |V|={graph.num_vertices} |E|={graph.num_edges}\n")
+        for u, v in graph.edges():
+            handle.write(f"{u} {v}\n")
+            count += 1
+    return count

@@ -1,0 +1,64 @@
+"""Degree-distribution metrics.
+
+Table I labels each dataset power-law or not; these helpers compute
+that label from data instead of trusting the generator: a discrete
+maximum-likelihood tail exponent (the Hill/Clauset estimator over
+degrees above a cutoff) and a heavy-tail heuristic based on how far
+the maximum degree sits above the mean.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .graph import Graph
+
+__all__ = ["powerlaw_exponent", "is_power_law", "degree_percentile"]
+
+
+def powerlaw_exponent(graph: Graph, d_min: int = 2) -> float:
+    """MLE exponent of ``P(d) ∝ d^-α`` over degrees ``>= d_min``.
+
+    Uses the continuous approximation
+    ``α = 1 + n / Σ ln(d_i / (d_min - 0.5))`` (Clauset et al. 2009);
+    returns ``inf`` when no vertex reaches the cutoff.
+    """
+    if d_min < 1:
+        raise ValueError("d_min must be >= 1")
+    tail = [graph.degree(v) for v in graph.vertices()
+            if graph.degree(v) >= d_min]
+    if not tail:
+        return math.inf
+    log_sum = sum(math.log(d / (d_min - 0.5)) for d in tail)
+    if log_sum <= 0:
+        return math.inf
+    return 1.0 + len(tail) / log_sum
+
+
+def degree_percentile(graph: Graph, fraction: float) -> int:
+    """The degree below which ``fraction`` of the vertices fall."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    degrees = sorted(graph.degree(v) for v in graph.vertices())
+    if not degrees:
+        return 0
+    index = min(len(degrees) - 1, int(fraction * len(degrees)))
+    return degrees[index]
+
+
+def is_power_law(graph: Graph) -> bool:
+    """Heavy-tail heuristic matching Table I's power-law column.
+
+    A graph counts as power-law when its maximum degree towers over
+    the mean (hubs exist) *and* the median vertex sits well below the
+    mean (mass at small degrees) — both false for near-regular graphs
+    like Cage.
+    """
+    if graph.num_vertices < 10:
+        return False
+    mean = graph.average_degree()
+    if mean == 0:
+        return False
+    max_degree = max(graph.degree(v) for v in graph.vertices())
+    median = degree_percentile(graph, 0.5)
+    return max_degree > 3 * mean and median < 0.75 * mean

@@ -1,0 +1,41 @@
+"""SIMD substrate: register model and Stream VByte codec."""
+
+from .register import (
+    SHUFFLE_ZERO,
+    lanes,
+    simd_any,
+    simd_compare_eq,
+    simd_compare_gt,
+    simd_compare_lt,
+    simd_count_lt,
+    simd_prefix_sum,
+    simd_shuffle_bytes,
+)
+from .streamvbyte import (
+    GROUP_SIZE,
+    data_length,
+    decode,
+    decode_group_scalar,
+    decode_group_simd,
+    encode,
+    encode_group,
+)
+
+__all__ = [
+    "SHUFFLE_ZERO",
+    "lanes",
+    "simd_any",
+    "simd_compare_eq",
+    "simd_compare_gt",
+    "simd_compare_lt",
+    "simd_count_lt",
+    "simd_prefix_sum",
+    "simd_shuffle_bytes",
+    "GROUP_SIZE",
+    "data_length",
+    "decode",
+    "decode_group_scalar",
+    "decode_group_simd",
+    "encode",
+    "encode_group",
+]

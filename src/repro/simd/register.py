@@ -1,0 +1,114 @@
+"""SIMD register model (the SSE stand-in).
+
+The paper's hyb+ version leans on four 128-bit SSE primitives:
+byte *shuffle* (``pshufb``) for Stream VByte decoding, lane *shift* +
+*add* for differential-coding prefix sums, and lane *compare* for
+membership tests and branch selection in the SS-tree (Section VI-B).
+
+Python has no intrinsics, so this module models an s-lane register as a
+numpy array and implements each primitive as one vectorized numpy
+operation.  The data-parallel semantics — one logical instruction
+transforming all lanes at once — is preserved exactly; only the clock
+cycles differ, which DESIGN.md documents as a substitution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "SHUFFLE_ZERO",
+    "lanes",
+    "simd_compare_eq",
+    "simd_compare_lt",
+    "simd_compare_gt",
+    "simd_any",
+    "simd_count_lt",
+    "simd_shuffle_bytes",
+    "simd_prefix_sum",
+]
+
+#: Shuffle-mask index meaning "write a zero byte" (pshufb's 0x80+ range).
+SHUFFLE_ZERO = 0xFF
+
+
+def lanes(values, width: int | None = None) -> np.ndarray:
+    """Load ``values`` into a register (uint32 lane array).
+
+    When ``width`` is given the register is zero-padded to that many
+    lanes, as a real load from a partial group would be.
+    """
+    reg = np.asarray(values, dtype=np.uint32)
+    if width is not None:
+        if len(reg) > width:
+            raise ValueError(f"{len(reg)} values exceed register width {width}")
+        if len(reg) < width:
+            reg = np.concatenate(
+                [reg, np.zeros(width - len(reg), dtype=np.uint32)]
+            )
+    return reg
+
+
+def simd_compare_eq(register: np.ndarray, scalar: int) -> np.ndarray:
+    """Lane-wise equality mask (``_mm_cmpeq_epi32``)."""
+    return register == np.uint32(scalar)
+
+
+def simd_compare_lt(register: np.ndarray, scalar: int) -> np.ndarray:
+    """Lane-wise ``lane < scalar`` mask."""
+    return register < np.uint32(scalar)
+
+
+def simd_compare_gt(register: np.ndarray, scalar: int) -> np.ndarray:
+    """Lane-wise ``lane > scalar`` mask."""
+    return register > np.uint32(scalar)
+
+
+def simd_any(mask: np.ndarray) -> bool:
+    """Horizontal OR of a mask (``_mm_movemask_epi8 != 0``)."""
+    return bool(mask.any())
+
+
+def simd_count_lt(register: np.ndarray, scalar: int, active: int) -> int:
+    """Number of the first ``active`` lanes strictly below ``scalar``.
+
+    This is the branch-selection step of the SS-tree search: comparing
+    the probe against all node keys at once and popcounting the mask
+    gives the child index to descend into.
+    """
+    if active <= 0:
+        return 0
+    return int(simd_compare_lt(register[:active], scalar).sum())
+
+
+def simd_shuffle_bytes(data: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Byte shuffle (``pshufb``): gather ``data[mask]`` with zero fill.
+
+    ``mask`` entries equal to :data:`SHUFFLE_ZERO` produce a zero byte,
+    matching the high-bit-set convention of the hardware instruction.
+    """
+    data = np.asarray(data, dtype=np.uint8)
+    mask = np.asarray(mask)
+    out = np.zeros(len(mask), dtype=np.uint8)
+    valid = mask != SHUFFLE_ZERO
+    out[valid] = data[mask[valid]]
+    return out
+
+
+def simd_prefix_sum(register: np.ndarray) -> np.ndarray:
+    """In-register inclusive prefix sum via log2(s) shift+add rounds.
+
+    For deltas ``[x1, d2, d3, d4]`` this reconstructs the original keys
+    ``[x1, x2, x3, x4]`` exactly as the paper's "shift and addition
+    mechanism of SIMD" does: each round adds a lane-shifted copy of the
+    register to itself.
+    """
+    reg = np.asarray(register, dtype=np.uint32).copy()
+    shift = 1
+    width = len(reg)
+    while shift < width:
+        shifted = np.zeros_like(reg)
+        shifted[shift:] = reg[:-shift]
+        reg = reg + shifted
+        shift *= 2
+    return reg

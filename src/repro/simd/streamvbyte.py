@@ -1,0 +1,159 @@
+"""Stream VByte codec (Lemire, Kurz & Rupp 2018) with delta coding.
+
+hyb+ compresses each SS-tree node's ``s`` sorted keys with Stream
+VByte: a *control byte* holds four 2-bit length codes (1–4 bytes per
+integer) and the *data bytes* hold the integers back to back
+(Section VI-B1).  Because one control byte describes exactly four
+lanes, decoding a whole node is a single byte-shuffle: the control byte
+indexes a 256-entry lookup table of ``pshufb`` masks that scatter the
+variable-length bytes into four fixed 32-bit lanes.  Differential
+coding (``{x1, x2-x1, x3-x2, x4-x3}``) shrinks the data bytes further
+and is undone with an in-register shift+add prefix sum.
+
+Both a scalar decoder and the SIMD (LUT + shuffle) decoder are
+provided; the ablation benchmark compares them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .register import SHUFFLE_ZERO, simd_prefix_sum, simd_shuffle_bytes
+
+__all__ = [
+    "GROUP_SIZE",
+    "encode_group",
+    "encode",
+    "decode",
+    "decode_group_simd",
+    "decode_group_scalar",
+    "data_length",
+]
+
+#: Values per control byte — fixed at 4 by the 2-bits-per-length format.
+GROUP_SIZE = 4
+
+
+def _build_tables() -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Precompute per-control-byte lane lengths, totals, shuffle masks."""
+    lengths = np.zeros((256, GROUP_SIZE), dtype=np.int64)
+    shuffle = np.full((256, 16), SHUFFLE_ZERO, dtype=np.uint8)
+    for control in range(256):
+        pos = 0
+        for lane in range(GROUP_SIZE):
+            size = ((control >> (2 * lane)) & 0b11) + 1
+            lengths[control, lane] = size
+            for byte in range(size):
+                shuffle[control, lane * 4 + byte] = pos
+                pos += 1
+    totals = lengths.sum(axis=1)
+    return lengths, totals, shuffle
+
+
+_LANE_LENGTHS, _TOTAL_LENGTHS, _SHUFFLE_MASKS = _build_tables()
+
+
+def _byte_length(value: int) -> int:
+    """Bytes needed for a uint32 (at least 1, so zero still encodes)."""
+    if value < 0 or value >> 32:
+        raise ValueError(f"{value} does not fit in an unsigned 32-bit lane")
+    return max(1, (value.bit_length() + 7) // 8)
+
+
+def data_length(control_byte: int, active: int = GROUP_SIZE) -> int:
+    """Data bytes consumed by the first ``active`` lanes of a group."""
+    if not 0 <= active <= GROUP_SIZE:
+        raise ValueError("active must be in 0..4")
+    return int(_LANE_LENGTHS[control_byte, :active].sum())
+
+
+def encode_group(values: list[int], delta: bool = False) -> tuple[int, bytes]:
+    """Encode up to 4 integers into ``(control_byte, data_bytes)``.
+
+    With ``delta=True`` the first value is stored raw and the rest as
+    differences from their predecessor (values must be ascending).
+    """
+    if not 1 <= len(values) <= GROUP_SIZE:
+        raise ValueError("a Stream VByte group holds 1..4 values")
+    stored = list(values)
+    if delta:
+        for i in range(len(stored) - 1, 0, -1):
+            if stored[i] < stored[i - 1]:
+                raise ValueError("delta coding needs ascending values")
+            stored[i] -= stored[i - 1]
+    control = 0
+    data = bytearray()
+    for lane, value in enumerate(stored):
+        size = _byte_length(value)
+        control |= (size - 1) << (2 * lane)
+        data += value.to_bytes(size, "little")
+    return control, bytes(data)
+
+
+def encode(values: list[int], delta: bool = False) -> tuple[bytes, bytes]:
+    """Encode a full sequence as ``(control_bytes, data_bytes)``.
+
+    Values are split into groups of 4; delta coding restarts at every
+    group boundary (each SS-tree node is decoded independently).
+    """
+    controls = bytearray()
+    data = bytearray()
+    for start in range(0, len(values), GROUP_SIZE):
+        control, chunk = encode_group(values[start:start + GROUP_SIZE], delta)
+        controls.append(control)
+        data += chunk
+    return bytes(controls), bytes(data)
+
+
+def decode_group_simd(control_byte: int, data: bytes, offset: int = 0,
+                      delta: bool = False) -> np.ndarray:
+    """Decode one group with the shuffle LUT (all 4 lanes at once).
+
+    Returns a 4-lane uint32 register; lanes beyond the group's real
+    value count decode as zero-padded garbage the caller must mask.
+    """
+    window = np.zeros(16, dtype=np.uint8)
+    chunk = data[offset:offset + 16]
+    window[:len(chunk)] = np.frombuffer(chunk, dtype=np.uint8)
+    gathered = simd_shuffle_bytes(window, _SHUFFLE_MASKS[control_byte])
+    register = gathered.view("<u4").copy()
+    if delta:
+        register = simd_prefix_sum(register)
+    return register
+
+
+def decode_group_scalar(control_byte: int, data: bytes, offset: int = 0,
+                        delta: bool = False,
+                        active: int = GROUP_SIZE) -> list[int]:
+    """Reference scalar decoder (one lane at a time) for the ablation."""
+    values: list[int] = []
+    pos = offset
+    for lane in range(active):
+        size = int(_LANE_LENGTHS[control_byte, lane])
+        values.append(int.from_bytes(data[pos:pos + size], "little"))
+        pos += size
+    if delta:
+        for i in range(1, len(values)):
+            values[i] += values[i - 1]
+    return values
+
+
+def decode(controls: bytes, data: bytes, count: int,
+           delta: bool = False, simd: bool = True) -> list[int]:
+    """Decode ``count`` integers previously produced by :func:`encode`."""
+    values: list[int] = []
+    offset = 0
+    for group_index, control in enumerate(controls):
+        remaining = count - group_index * GROUP_SIZE
+        active = min(GROUP_SIZE, remaining)
+        if active <= 0:
+            break
+        if simd:
+            register = decode_group_simd(control, data, offset, delta)
+            values.extend(int(x) for x in register[:active])
+        else:
+            values.extend(
+                decode_group_scalar(control, data, offset, delta, active)
+            )
+        offset += data_length(control, active)
+    return values

@@ -1,0 +1,13 @@
+"""Disk storage substrate: log-structured KV store + adjacency store."""
+
+from .cache import LRUCache
+from .graphstore import GraphStore
+from .kvstore import DiskKVStore, InMemoryKVStore, StorageStats
+
+__all__ = [
+    "LRUCache",
+    "GraphStore",
+    "DiskKVStore",
+    "InMemoryKVStore",
+    "StorageStats",
+]

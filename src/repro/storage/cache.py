@@ -1,0 +1,75 @@
+"""A small LRU block cache.
+
+The paper's setting keeps vertex codes in memory while adjacency data
+lives on disk (RocksDB).  RocksDB fronts reads with a block cache; our
+KV store does the same with this LRU so that "hot" adjacency lists do
+not hit disk twice and cache statistics can be reported by benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache:
+    """Least-recently-used cache with a byte-size capacity.
+
+    Values must expose ``len()`` (bytes / lists both work); an entry
+    larger than the whole capacity is simply not cached.
+    """
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity_bytes = capacity_bytes
+        self._data: OrderedDict[object, object] = OrderedDict()
+        self._size = 0
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def size_bytes(self) -> int:
+        return self._size
+
+    def get(self, key):
+        """Return the cached value or None; updates recency and stats."""
+        if key in self._data:
+            self._data.move_to_end(key)
+            self.hits += 1
+            return self._data[key]
+        self.misses += 1
+        return None
+
+    def put(self, key, value) -> None:
+        """Insert/overwrite ``key``, evicting LRU entries as needed."""
+        value_size = len(value)
+        if value_size > self.capacity_bytes:
+            self.evict(key)
+            return
+        if key in self._data:
+            self._size -= len(self._data[key])
+            del self._data[key]
+        self._data[key] = value
+        self._size += value_size
+        while self._size > self.capacity_bytes:
+            _, evicted = self._data.popitem(last=False)
+            self._size -= len(evicted)
+
+    def evict(self, key) -> None:
+        """Drop ``key`` if present (used on updates/deletes)."""
+        if key in self._data:
+            self._size -= len(self._data[key])
+            del self._data[key]
+
+    def clear(self) -> None:
+        self._data.clear()
+        self._size = 0
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,229 @@
+"""File-backed key-value store (the RocksDB stand-in).
+
+Design: an append-only data log plus an in-memory key → (offset, size)
+index, the classic log-structured layout.  Every ``get`` that misses the
+block cache performs a real ``seek`` + ``read`` against the file and is
+counted in :class:`StorageStats` — those counters are what the paper's
+Fig. 9 experiment is about (VEND exists to avoid exactly these reads).
+
+``InMemoryKVStore`` implements the same interface for fast unit tests.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+
+from .cache import LRUCache
+
+__all__ = ["StorageStats", "DiskKVStore", "InMemoryKVStore"]
+
+_HEADER = struct.Struct("<qI")  # key (int64), value length (uint32)
+
+
+@dataclass
+class StorageStats:
+    """Counters for physical storage activity."""
+
+    disk_reads: int = 0
+    disk_writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def reset(self) -> None:
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}
+
+
+class DiskKVStore:
+    """Append-only log store with integer keys and bytes values.
+
+    Parameters
+    ----------
+    path:
+        Backing file.  Created if absent; an existing log is replayed to
+        rebuild the index (crash-style recovery).
+    cache_bytes:
+        Block-cache capacity; 0 disables caching entirely so every read
+        hits the file (useful when benchmarks must observe raw I/O).
+    """
+
+    def __init__(self, path: str | Path, cache_bytes: int = 0):
+        self.path = Path(path)
+        self.stats = StorageStats()
+        self._index: dict[int, tuple[int, int]] = {}
+        self._cache = LRUCache(cache_bytes) if cache_bytes > 0 else None
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        exists = self.path.exists()
+        self._file = open(self.path, "a+b")
+        if exists:
+            self._replay()
+
+    # -- public API --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._index
+
+    def keys(self):
+        return self._index.keys()
+
+    def put(self, key: int, value: bytes) -> None:
+        """Write ``value`` under ``key`` (append + index update)."""
+        self._file.seek(0, os.SEEK_END)
+        offset = self._file.tell()
+        self._file.write(_HEADER.pack(key, len(value)))
+        self._file.write(value)
+        self._index[key] = (offset + _HEADER.size, len(value))
+        self.stats.disk_writes += 1
+        self.stats.bytes_written += _HEADER.size + len(value)
+        if self._cache is not None:
+            self._cache.put(key, value)
+
+    def get(self, key: int) -> bytes | None:
+        """Read the value for ``key`` or None; counts a disk read on miss."""
+        if self._cache is not None:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                return cached
+            self.stats.cache_misses += 1
+        loc = self._index.get(key)
+        if loc is None:
+            return None
+        offset, size = loc
+        self._file.seek(offset)
+        value = self._file.read(size)
+        self.stats.disk_reads += 1
+        self.stats.bytes_read += size
+        if self._cache is not None:
+            self._cache.put(key, value)
+        return value
+
+    def delete(self, key: int) -> bool:
+        """Remove ``key``; appends a tombstone so recovery stays correct."""
+        if key not in self._index:
+            return False
+        self._file.seek(0, os.SEEK_END)
+        self._file.write(_HEADER.pack(key, 0xFFFFFFFF))
+        self.stats.disk_writes += 1
+        self.stats.bytes_written += _HEADER.size
+        del self._index[key]
+        if self._cache is not None:
+            self._cache.evict(key)
+        return True
+
+    def flush(self) -> None:
+        self._file.flush()
+
+    def compact(self) -> int:
+        """Rewrite only the live records, dropping overwritten versions
+        and tombstones (the log-structured GC).  Returns bytes saved."""
+        self._file.flush()
+        before = self.path.stat().st_size
+        compact_path = self.path.with_suffix(self.path.suffix + ".compact")
+        new_index: dict[int, tuple[int, int]] = {}
+        with open(compact_path, "wb") as out:
+            for key in sorted(self._index):
+                offset, size = self._index[key]
+                self._file.seek(offset)
+                value = self._file.read(size)
+                new_index[key] = (out.tell() + _HEADER.size, size)
+                out.write(_HEADER.pack(key, size))
+                out.write(value)
+        self._file.close()
+        compact_path.replace(self.path)
+        self._file = open(self.path, "a+b")
+        self._index = new_index
+        if self._cache is not None:
+            self._cache.clear()
+        return before - self.path.stat().st_size
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+    def __enter__(self) -> "DiskKVStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- recovery ------------------------------------------------------------
+
+    def _replay(self) -> None:
+        """Rebuild the index by scanning the log from the start."""
+        self._file.seek(0)
+        while True:
+            header = self._file.read(_HEADER.size)
+            if len(header) < _HEADER.size:
+                break
+            key, size = _HEADER.unpack(header)
+            if size == 0xFFFFFFFF:  # tombstone
+                self._index.pop(key, None)
+                continue
+            offset = self._file.tell()
+            self._index[key] = (offset, size)
+            self._file.seek(size, os.SEEK_CUR)
+
+
+class InMemoryKVStore:
+    """Dict-backed store with the same interface and stats semantics.
+
+    Each ``get`` still counts as a "disk read" so application-level
+    access accounting behaves identically in tests.
+    """
+
+    def __init__(self, cache_bytes: int = 0):
+        self.stats = StorageStats()
+        self._data: dict[int, bytes] = {}
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._data
+
+    def keys(self):
+        return self._data.keys()
+
+    def put(self, key: int, value: bytes) -> None:
+        self._data[key] = value
+        self.stats.disk_writes += 1
+        self.stats.bytes_written += len(value)
+
+    def get(self, key: int) -> bytes | None:
+        value = self._data.get(key)
+        if value is not None:
+            self.stats.disk_reads += 1
+            self.stats.bytes_read += len(value)
+        return value
+
+    def delete(self, key: int) -> bool:
+        if key in self._data:
+            del self._data[key]
+            self.stats.disk_writes += 1
+            return True
+        return False
+
+    def flush(self) -> None:  # interface parity
+        pass
+
+    def close(self) -> None:  # interface parity
+        pass
+
+    def __enter__(self) -> "InMemoryKVStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,12 @@
+"""Query and update workload generators for the experiments."""
+
+from .pairs import common_neighbor_pairs, mixed_pairs, random_pairs
+from .updates import sample_deletions, sample_insertions
+
+__all__ = [
+    "random_pairs",
+    "common_neighbor_pairs",
+    "mixed_pairs",
+    "sample_deletions",
+    "sample_insertions",
+]

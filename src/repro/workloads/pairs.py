@@ -1,0 +1,67 @@
+"""Edge-query workload generators — Section VII-B.
+
+The paper evaluates on two pair distributions:
+
+- **RandPair** — uniformly random vertex pairs.  Most are far apart,
+  so even naive VEND ideas detect them (Fig. 7's small gaps).
+- **CommPair** — pairs sharing at least one common neighbor (distance
+  ≤ 2), the locality pattern of triangle counting and subgraph
+  matching, where solution quality separates (Fig. 8).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..graph import Graph
+
+__all__ = ["random_pairs", "common_neighbor_pairs", "mixed_pairs"]
+
+
+def random_pairs(graph: Graph, count: int, seed: int = 0) -> list[tuple[int, int]]:
+    """``count`` uniformly random distinct-vertex pairs (with repeats)."""
+    vertices = sorted(graph.vertices())
+    if len(vertices) < 2:
+        raise ValueError("need at least two vertices to form pairs")
+    rng = random.Random(seed)
+    pairs = []
+    n = len(vertices)
+    while len(pairs) < count:
+        u = vertices[rng.randrange(n)]
+        v = vertices[rng.randrange(n)]
+        if u != v:
+            pairs.append((u, v))
+    return pairs
+
+
+def common_neighbor_pairs(graph: Graph, count: int,
+                          seed: int = 0) -> list[tuple[int, int]]:
+    """``count`` pairs that share at least one common neighbor.
+
+    Sampling: pick a pivot vertex with degree >= 2 (weighted by its
+    presence in the vertex list), then two distinct neighbors of it —
+    the sampled pair is at distance <= 2 by construction.
+    """
+    pivots = [v for v in graph.vertices() if graph.degree(v) >= 2]
+    if not pivots:
+        raise ValueError("graph has no vertex with two neighbors")
+    rng = random.Random(seed)
+    pairs = []
+    while len(pairs) < count:
+        pivot = pivots[rng.randrange(len(pivots))]
+        u, v = rng.sample(graph.sorted_neighbors(pivot), 2)
+        pairs.append((u, v))
+    return pairs
+
+
+def mixed_pairs(graph: Graph, count: int, local_fraction: float = 0.5,
+                seed: int = 0) -> list[tuple[int, int]]:
+    """A blend of RandPair and CommPair traffic (example workloads)."""
+    if not 0.0 <= local_fraction <= 1.0:
+        raise ValueError("local_fraction must be within [0, 1]")
+    local = round(count * local_fraction)
+    pairs = common_neighbor_pairs(graph, local, seed=seed)
+    pairs += random_pairs(graph, count - local, seed=seed + 1)
+    rng = random.Random(seed + 2)
+    rng.shuffle(pairs)
+    return pairs

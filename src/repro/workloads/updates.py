@@ -1,0 +1,43 @@
+"""Update workloads for the maintenance experiment — Section VII-D.
+
+The paper samples existing edges for deletion and random *new* edges
+for insertion, evaluating the two groups independently.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..graph import Graph
+
+__all__ = ["sample_deletions", "sample_insertions"]
+
+
+def sample_deletions(graph: Graph, count: int, seed: int = 0) -> list[tuple[int, int]]:
+    """``count`` distinct existing edges, uniformly at random."""
+    edges = list(graph.edges())
+    rng = random.Random(seed)
+    if count >= len(edges):
+        rng.shuffle(edges)
+        return edges
+    return rng.sample(edges, count)
+
+
+def sample_insertions(graph: Graph, count: int, seed: int = 0) -> list[tuple[int, int]]:
+    """``count`` distinct vertex pairs that are not currently edges."""
+    vertices = sorted(graph.vertices())
+    if len(vertices) < 2:
+        raise ValueError("need at least two vertices")
+    max_new = len(vertices) * (len(vertices) - 1) // 2 - graph.num_edges
+    if count > max_new:
+        raise ValueError(f"only {max_new} non-edges exist, asked for {count}")
+    rng = random.Random(seed)
+    chosen: set[tuple[int, int]] = set()
+    n = len(vertices)
+    while len(chosen) < count:
+        u = vertices[rng.randrange(n)]
+        v = vertices[rng.randrange(n)]
+        if u == v or graph.has_edge(u, v):
+            continue
+        chosen.add((u, v) if u < v else (v, u))
+    return sorted(chosen)

@@ -1,0 +1,96 @@
+"""Tests for index introspection and score diagnostics."""
+
+import pytest
+
+from repro.core import HybPlusVend, HybridVend
+from repro.core.analysis import describe_code, index_statistics, score_breakdown
+from repro.graph import powerlaw_graph
+from repro.workloads import random_pairs
+
+from .conftest import paper_example_graph
+
+
+@pytest.fixture(scope="module")
+def built():
+    graph = powerlaw_graph(200, avg_degree=10, seed=70)
+    solution = HybridVend(k=2, id_bits=10)
+    solution.build(graph)
+    return graph, solution
+
+
+class TestDescribeCode:
+    def test_decodable_description(self):
+        graph = paper_example_graph()
+        solution = HybridVend(k=2)
+        solution.build(graph)
+        desc = describe_code(solution, 5)
+        assert desc.decodable and desc.exact
+        assert desc.recorded_ids == (3,)
+        assert desc.nt_size == graph.max_vertex_id - 1
+        assert desc.block_kind is None
+
+    def test_core_description(self, built):
+        graph, solution = built
+        core = next(v for v in graph.vertices()
+                    if not solution.is_decodable(v))
+        desc = describe_code(solution, core)
+        assert not desc.decodable
+        assert desc.block_kind in ("leftmost", "middle", "rightmost", "empty")
+        assert desc.slot_bits >= 1
+        assert 0.0 <= desc.slot_occupancy <= 1.0
+        if desc.block_size:
+            lo, hi = desc.block_range
+            assert lo <= hi
+
+    def test_hybplus_description(self):
+        graph = powerlaw_graph(150, avg_degree=10, seed=71)
+        solution = HybPlusVend(k=2, id_bits=10)
+        solution.build(graph)
+        core = next(v for v in graph.vertices()
+                    if not solution.is_decodable(v))
+        desc = describe_code(solution, core)
+        assert not desc.decodable
+        assert desc.slot_bits >= 1
+
+
+class TestIndexStatistics:
+    def test_counts_add_up(self, built):
+        graph, solution = built
+        stats = index_statistics(solution)
+        assert stats.num_codes == graph.num_vertices
+        core_total = sum(stats.block_kind_counts.values())
+        assert stats.decodable_codes + core_total == stats.num_codes
+        assert 0.0 <= stats.decodable_fraction <= 1.0
+        assert 0.0 <= stats.mean_slot_occupancy <= 1.0
+        assert 0.0 < stats.mean_nt_fraction <= 1.0
+        assert stats.memory_bytes == solution.memory_bytes()
+
+    def test_static_build_is_fully_exact(self, built):
+        _, solution = built
+        stats = index_statistics(solution)
+        assert stats.exact_codes == stats.num_codes
+
+    def test_sampled_subset(self, built):
+        graph, solution = built
+        sample = sorted(graph.vertices())[:25]
+        stats = index_statistics(solution, sample=sample)
+        assert stats.num_codes == 25
+
+
+class TestScoreBreakdown:
+    def test_classes_cover_sample(self, built):
+        graph, solution = built
+        pairs = random_pairs(graph, 3000, seed=72)
+        breakdown = score_breakdown(solution, graph, pairs)
+        assert sum(breakdown.class_counts.values()) <= len(pairs)
+        for rate in (breakdown.decodable_decodable, breakdown.mixed,
+                     breakdown.core_core):
+            assert 0.0 <= rate <= 1.0
+
+    def test_peeled_classes_are_perfect_statically(self, built):
+        """dec-dec and mixed pairs are decided exactly after a build."""
+        graph, solution = built
+        pairs = random_pairs(graph, 5000, seed=73)
+        breakdown = score_breakdown(solution, graph, pairs)
+        assert breakdown.decodable_decodable == pytest.approx(1.0)
+        assert breakdown.mixed == pytest.approx(1.0)

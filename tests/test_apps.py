@@ -1,0 +1,160 @@
+"""Tests for the applications: edge queries, triangle counting, matching."""
+
+import itertools
+
+import pytest
+
+from repro.apps import (
+    EdgeQueryEngine,
+    SubgraphMatcher,
+    clique_pattern,
+    edge_iterator_count,
+    path_pattern,
+    triangle_pattern,
+    trigon_count,
+)
+from repro.core import HybridVend
+from repro.graph import Graph, erdos_renyi_graph, powerlaw_graph
+from repro.storage import GraphStore
+
+from .conftest import paper_example_graph
+
+
+def brute_triangles(graph: Graph) -> int:
+    count = 0
+    for u, v in graph.edges():
+        count += len(graph.neighbors(u) & graph.neighbors(v))
+    return count // 3
+
+
+@pytest.fixture
+def stored_graph(tmp_path):
+    graph = powerlaw_graph(150, avg_degree=8, seed=20)
+    store = GraphStore(tmp_path / "adj.log")
+    store.bulk_load(graph)
+    vend = HybridVend(k=4)
+    vend.build(graph)
+    yield graph, store, vend
+    store.close()
+
+
+class TestEdgeQueryEngine:
+    def test_answers_match_ground_truth(self, stored_graph):
+        graph, store, vend = stored_graph
+        engine = EdgeQueryEngine(store, vend)
+        vertices = sorted(graph.vertices())[:30]
+        for u, v in itertools.combinations(vertices, 2):
+            assert engine.has_edge(u, v) == graph.has_edge(u, v)
+
+    def test_filter_cuts_disk_reads(self, stored_graph):
+        graph, store, vend = stored_graph
+        pairs = list(itertools.combinations(sorted(graph.vertices())[:40], 2))
+        store.stats.reset()
+        baseline = EdgeQueryEngine(store, None)
+        baseline.run(pairs)
+        unfiltered_reads = store.stats.disk_reads
+        store.stats.reset()
+        filtered = EdgeQueryEngine(store, vend)
+        filtered.run(pairs)
+        filtered_reads = store.stats.disk_reads
+        assert filtered_reads < unfiltered_reads
+        assert filtered.stats.filter_rate > 0.5
+
+    def test_stats_accumulate(self, stored_graph):
+        _, store, vend = stored_graph
+        engine = EdgeQueryEngine(store, vend)
+        engine.run([(1, 2), (3, 4)])
+        engine.run([(5, 6)])
+        assert engine.stats.total == 3
+        assert engine.stats.filtered + engine.stats.executed == 3
+
+
+class TestEdgeIterator:
+    def test_counts_fig2_triangles(self, tmp_path):
+        graph = paper_example_graph()
+        store = GraphStore(tmp_path / "g.log")
+        store.bulk_load(graph)
+        expected = brute_triangles(graph)
+        assert edge_iterator_count(store).triangles == expected
+
+    def test_vend_preserves_count_and_skips_fetches(self, stored_graph):
+        graph, store, vend = stored_graph
+        expected = brute_triangles(graph)
+        plain = edge_iterator_count(store)
+        accelerated = edge_iterator_count(store, vend)
+        assert plain.triangles == expected
+        assert accelerated.triangles == expected
+        assert accelerated.skipped_fetches > 0
+        assert accelerated.disk_reads < plain.disk_reads
+
+    def test_empty_graph(self, tmp_path):
+        store = GraphStore(tmp_path / "empty.log")
+        store.bulk_load(Graph())
+        assert edge_iterator_count(store).triangles == 0
+
+
+class TestTrigon:
+    @pytest.mark.parametrize("budget", [50, 500, 10**6])
+    def test_counts_match_brute_force(self, tmp_path, budget):
+        graph = erdos_renyi_graph(80, 400, seed=21)
+        store = GraphStore(tmp_path / "g.log")
+        store.bulk_load(graph)
+        stats = trigon_count(store, tmp_path / "work", budget)
+        assert stats.triangles == brute_triangles(graph)
+
+    def test_vend_shrinks_companion_files(self, stored_graph, tmp_path):
+        graph, store, vend = stored_graph
+        expected = brute_triangles(graph)
+        plain = trigon_count(store, tmp_path / "w1", 300)
+        accelerated = trigon_count(store, tmp_path / "w2", 300, vend=vend)
+        assert plain.triangles == expected
+        assert accelerated.triangles == expected
+        assert accelerated.filtered_triples > 0
+        assert accelerated.companion_bytes < plain.companion_bytes
+
+    def test_invalid_budget(self, tmp_path):
+        store = GraphStore()
+        store.bulk_load(Graph([(1, 2)]))
+        with pytest.raises(ValueError):
+            trigon_count(store, tmp_path / "w", 0)
+
+
+class TestMatching:
+    def test_patterns(self):
+        assert triangle_pattern().num_edges == 3
+        assert path_pattern(3).num_edges == 3
+        assert clique_pattern(4).num_edges == 6
+        with pytest.raises(ValueError):
+            path_pattern(0)
+        with pytest.raises(ValueError):
+            clique_pattern(1)
+
+    def test_triangle_embeddings_match(self, stored_graph):
+        graph, store, vend = stored_graph
+        matcher = SubgraphMatcher(store, vend)
+        stats = matcher.count(triangle_pattern())
+        # Each triangle has 3! = 6 injective embeddings.
+        assert stats.embeddings == 6 * brute_triangles(graph)
+
+    def test_vend_filters_verification_queries(self, stored_graph):
+        graph, store, vend = stored_graph
+        plain = SubgraphMatcher(store, None).count(clique_pattern(3))
+        fast = SubgraphMatcher(store, vend).count(clique_pattern(3))
+        assert plain.embeddings == fast.embeddings
+        assert fast.filtered_queries > 0
+        assert fast.disk_reads < plain.disk_reads
+
+    def test_path_counting(self, tmp_path):
+        graph = Graph([(1, 2), (2, 3), (3, 4)])
+        store = GraphStore(tmp_path / "p.log")
+        store.bulk_load(graph)
+        stats = SubgraphMatcher(store).count(path_pattern(3))
+        # The only 3-edge path maps in 2 directions.
+        assert stats.embeddings == 2
+
+    def test_disconnected_pattern_rejected(self, tmp_path):
+        store = GraphStore(tmp_path / "d.log")
+        store.bulk_load(Graph([(1, 2)]))
+        pattern = Graph([(1, 2), (3, 4)])
+        with pytest.raises(ValueError):
+            SubgraphMatcher(store).count(pattern)

@@ -1,0 +1,154 @@
+"""Tests for the partial, range, hash and bit-hash VEND baselines."""
+
+import pytest
+
+from repro.core.hash_based import BitHashVend, HashVend
+from repro.core.partial import PartialVend
+from repro.core.range_based import RangeVend
+from repro.graph import erdos_renyi_graph, powerlaw_graph
+
+from .conftest import all_pairs, assert_no_false_positives, paper_example_graph
+
+
+def build(cls, graph, k=3, **kwargs):
+    solution = cls(k=k, **kwargs)
+    solution.build(graph)
+    return solution
+
+
+class TestPartial:
+    def test_fig2_encoding(self):
+        g = paper_example_graph()
+        s = build(PartialVend, g, k=3)
+        assert s.is_encoded(5) and s.is_encoded(8)
+        assert not s.is_encoded(3)
+        assert s.core_vertices == {1, 2, 3, 4, 6, 7}
+        # f^α(5) = [τ1, 3]; f^α(8) = [τ1, 3, 7]
+        assert s.vector(5)[1:] == [3]
+        assert s.vector(8)[1:] == [3, 7]
+        assert s.vector(5)[0] == s.vector(8)[0] < 0
+
+    def test_fig2_determinations(self):
+        """1, 2, 4, 5, 6 are NEneighbors of 8 (Section IV-B example)."""
+        g = paper_example_graph()
+        s = build(PartialVend, g, k=3)
+        for v in (1, 2, 4, 5, 6):
+            assert s.is_nonedge(8, v)
+            assert s.is_nonedge(v, 8)
+        assert not s.is_nonedge(8, 3)
+        assert not s.is_nonedge(8, 7)
+
+    def test_core_pairs_undetermined(self):
+        g = paper_example_graph()
+        s = build(PartialVend, g, k=3)
+        # (1, 7) is a genuine NEpair but both are core: undecidable.
+        assert not s.is_nonedge(1, 7)
+        assert not s.covers(1, 7)
+        assert s.covers(8, 1)
+
+    def test_partial_is_exact_on_covered_pairs(self):
+        """F^α decides every covered pair with zero error, both ways."""
+        g = powerlaw_graph(200, avg_degree=6, seed=1)
+        s = build(PartialVend, g, k=4)
+        for u, v in all_pairs(g):
+            if s.covers(u, v):
+                assert s.is_nonedge(u, v) == (not g.has_edge(u, v))
+
+    def test_soundness(self):
+        g = erdos_renyi_graph(100, 400, seed=2)
+        s = build(PartialVend, g, k=3)
+        assert_no_false_positives(s, g)
+
+    def test_self_pair(self):
+        g = paper_example_graph()
+        s = build(PartialVend, g, k=3)
+        assert not s.is_nonedge(5, 5)
+
+    def test_memory_accounting(self):
+        g = paper_example_graph()
+        s = build(PartialVend, g, k=3)
+        assert s.memory_bytes() == 8 * 3 * 32 // 8
+
+
+class TestRange:
+    def test_fig3_improved_detections(self):
+        """Improved range detects (1,7), (2,4), (3,6) inside the core."""
+        g = paper_example_graph()
+        s = build(RangeVend, g, k=3)
+        for u, v in ((1, 7), (2, 4), (3, 6)):
+            assert s.is_nonedge(u, v), (u, v)
+            assert s.is_nonedge(v, u), (v, u)
+
+    def test_fig3_basic_detections(self):
+        """Basic range only finds (2,4) and (3,6) — Fig. 3 left column."""
+        g = paper_example_graph()
+        s = build(RangeVend, g, k=3, strategy="basic")
+        assert not s.is_nonedge(1, 7)
+        assert s.is_nonedge(2, 4)
+        assert s.is_nonedge(3, 6)
+
+    def test_improved_at_least_basic(self):
+        g = powerlaw_graph(300, avg_degree=8, seed=3)
+        improved = build(RangeVend, g, k=4)
+        basic = build(RangeVend, g, k=4, strategy="basic")
+        pairs = [(u, v) for u, v in all_pairs(g) if not g.has_edge(u, v)]
+        improved_hits = sum(1 for u, v in pairs if improved.is_nonedge(u, v))
+        basic_hits = sum(1 for u, v in pairs if basic.is_nonedge(u, v))
+        assert improved_hits >= basic_hits
+
+    def test_soundness(self):
+        g = powerlaw_graph(200, avg_degree=8, seed=4)
+        s = build(RangeVend, g, k=4)
+        assert assert_no_false_positives(s, g) > 0
+
+    def test_invalid_strategy(self):
+        with pytest.raises(ValueError):
+            RangeVend(k=3, strategy="bogus")
+
+
+class TestHash:
+    def test_fig2_hash_vector(self):
+        """f^hash(6) = {1, 1, 0} for vertex 6 of C_G^3 (Section IV-D)."""
+        g = paper_example_graph()
+        s = build(HashVend, g, k=3)
+        slot = s._slots[6]
+        # Core neighbors of 6 are {1, 2, 4}: residues mod 3 are {1, 2, 1}.
+        assert (slot >> 0) & 1 == 0
+        assert (slot >> 1) & 1 == 1
+        assert (slot >> 2) & 1 == 1
+
+    def test_soundness_hash(self):
+        g = powerlaw_graph(200, avg_degree=8, seed=5)
+        s = build(HashVend, g, k=4)
+        assert_no_false_positives(s, g)
+
+    def test_soundness_bit_hash(self):
+        g = powerlaw_graph(200, avg_degree=8, seed=6)
+        s = build(BitHashVend, g, k=4)
+        assert assert_no_false_positives(s, g) > 0
+
+    def test_bit_hash_beats_hash(self):
+        """The k·I-bit slot detects far more than the k-slot version."""
+        g = powerlaw_graph(300, avg_degree=10, seed=7)
+        plain = build(HashVend, g, k=4)
+        bits = build(BitHashVend, g, k=4)
+        pairs = [(u, v) for u, v in all_pairs(g) if not g.has_edge(u, v)]
+        plain_hits = sum(1 for u, v in pairs if plain.is_nonedge(u, v))
+        bit_hits = sum(1 for u, v in pairs if bits.is_nonedge(u, v))
+        assert bit_hits > plain_hits
+
+    def test_alpha_pairs_still_exact(self):
+        g = paper_example_graph()
+        s = build(BitHashVend, g, k=3)
+        for v in (1, 2, 4, 5, 6):
+            assert s.is_nonedge(8, v)
+
+
+class TestBatchInterface:
+    def test_is_nonedge_batch(self):
+        g = paper_example_graph()
+        s = build(RangeVend, g, k=3)
+        pairs = [(1, 7), (1, 2), (2, 4)]
+        assert s.is_nonedge_batch(pairs) == [
+            s.is_nonedge(u, v) for u, v in pairs
+        ]

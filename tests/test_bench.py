@@ -1,0 +1,157 @@
+"""Tests for the benchmark harness and table rendering."""
+
+import pytest
+
+from repro.bench import (
+    FIGURE_METHODS,
+    SOLUTION_FACTORIES,
+    Table,
+    bench_pairs,
+    bench_scale,
+    format_bytes,
+    format_seconds,
+    load_dataset,
+    make_solution,
+    paper_id_bits,
+    results_dir,
+    timed,
+)
+from repro.graph import erdos_renyi_graph
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table("Title", ["A", "Blong"])
+        table.add_row(1, "x")
+        table.add_row("wider-cell", 2)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert lines[1] == "====="
+        assert "A" in lines[2] and "Blong" in lines[2]
+        assert len({len(line) for line in lines[4:6]}) <= 2
+
+    def test_row_arity_checked(self):
+        table = Table("T", ["A", "B"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_notes_rendered(self):
+        table = Table("T", ["A"])
+        table.add_row(1)
+        table.add_note("hello")
+        assert "* hello" in table.render()
+
+    def test_save_and_emit(self, tmp_path, capsys):
+        table = Table("T", ["A"])
+        table.add_row(42)
+        path = table.save(tmp_path / "out" / "t.txt")
+        assert path.read_text() == table.render()
+        table.emit(tmp_path / "t2.txt")
+        assert "42" in capsys.readouterr().out
+
+
+class TestFormatting:
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512B"
+        assert format_bytes(2048) == "2.0K"
+        assert format_bytes(5 * 1024 * 1024) == "5.0M"
+        assert format_bytes(20 * 1024**3) == "20G"
+
+    def test_format_seconds(self):
+        assert format_seconds(5e-5) == "50us"
+        assert format_seconds(0.02) == "20.0ms"
+        assert format_seconds(3.5) == "3.50s"
+        assert format_seconds(300) == "5.0min"
+
+
+class TestHarness:
+    def test_env_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        monkeypatch.delenv("REPRO_BENCH_PAIRS", raising=False)
+        assert bench_scale() == 0.5
+        assert bench_pairs() == 20000
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.1")
+        monkeypatch.setenv("REPRO_BENCH_PAIRS", "99")
+        assert bench_scale() == 0.1
+        assert bench_pairs() == 99
+
+    def test_dataset_memoized(self):
+        a = load_dataset("cage", scale=0.05)
+        b = load_dataset("cage", scale=0.05)
+        assert a is b
+
+    def test_every_factory_builds_and_answers(self):
+        graph = erdos_renyi_graph(60, 240, seed=95)
+        for method in SOLUTION_FACTORIES:
+            solution = make_solution(method, 2, graph)
+            claim = solution.is_nonedge(1, 2)
+            if claim:
+                assert not graph.has_edge(1, 2), method
+
+    def test_figure_methods_are_registered(self):
+        assert set(FIGURE_METHODS) <= set(SOLUTION_FACTORIES)
+
+    def test_paper_id_bits(self):
+        assert paper_id_bits("gsh") == 30
+        with pytest.raises(KeyError):
+            paper_id_bits("nope")
+
+    def test_id_bits_reaches_hybrid(self):
+        graph = erdos_renyi_graph(50, 150, seed=96)
+        solution = make_solution("hybrid", 2, graph, id_bits=20)
+        assert solution.id_bits == 20
+        # Non-hybrid methods ignore the hint without failing.
+        make_solution("SBF", 2, graph, id_bits=20)
+
+    def test_results_dir_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_BENCH_RESULTS", str(tmp_path / "r"))
+        assert results_dir() == tmp_path / "r"
+        assert (tmp_path / "r").is_dir()
+
+    def test_timed(self):
+        value, elapsed = timed(lambda: 7)
+        assert value == 7
+        assert elapsed >= 0
+
+
+class TestBarChart:
+    def test_render_shape(self):
+        from repro.bench import BarChart
+
+        chart = BarChart("Fig. X", width=10, unit="s")
+        chart.add_group("as-sk", [("hybrid", 1.0), ("SBF", 0.5)])
+        text = chart.render()
+        assert text.startswith("Fig. X")
+        assert "hybrid |##########| 1s" in text
+        assert "SBF    |#####.....| 0.5s" in text
+
+    def test_empty_chart(self):
+        from repro.bench import BarChart
+
+        assert "(no data)" in BarChart("T").render()
+
+    def test_clamps_to_max(self):
+        from repro.bench import BarChart
+
+        chart = BarChart("T", width=10, max_value=1.0)
+        chart.add_group("g", [("a", 5.0)])
+        assert "|##########|" in chart.render()
+
+    def test_invalid_inputs(self):
+        import pytest
+
+        from repro.bench import BarChart
+
+        with pytest.raises(ValueError):
+            BarChart("T", width=2)
+        with pytest.raises(ValueError):
+            BarChart("T").add_group("g", [])
+
+    def test_save(self, tmp_path):
+        from repro.bench import BarChart
+
+        chart = BarChart("T")
+        chart.add_group("g", [("a", 1)])
+        path = chart.save(tmp_path / "chart.txt")
+        assert path.read_text() == chart.render()

@@ -1,0 +1,113 @@
+"""Tests for the BitVector substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitvector import BitVector
+
+
+class TestBitVectorBasics:
+    def test_initial_zero(self):
+        bv = BitVector(64)
+        assert bv.value == 0
+        assert bv.popcount() == 0
+        assert bv.count_zeros() == 64
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            BitVector(0)
+
+    def test_value_too_wide(self):
+        with pytest.raises(ValueError):
+            BitVector(4, 16)
+
+    def test_set_get_clear_bit(self):
+        bv = BitVector(16)
+        bv.set_bit(3)
+        assert bv.get_bit(3) == 1
+        assert bv.get_bit(2) == 0
+        bv.set_bit(3, 0)
+        assert bv.get_bit(3) == 0
+
+    def test_bit_out_of_range(self):
+        bv = BitVector(8)
+        with pytest.raises(IndexError):
+            bv.get_bit(8)
+        with pytest.raises(IndexError):
+            bv.set_bit(-1)
+
+    def test_field_roundtrip(self):
+        bv = BitVector(32)
+        bv.write_field(5, 10, 0b1010101010)
+        assert bv.read_field(5, 10) == 0b1010101010
+        assert bv.read_field(0, 5) == 0
+        assert bv.read_field(15, 17) == 0
+
+    def test_field_overwrite_clears_old(self):
+        bv = BitVector(16)
+        bv.write_field(4, 8, 0xFF)
+        bv.write_field(4, 8, 0x0F)
+        assert bv.read_field(4, 8) == 0x0F
+
+    def test_field_value_too_big(self):
+        bv = BitVector(16)
+        with pytest.raises(ValueError):
+            bv.write_field(0, 4, 16)
+
+    def test_field_out_of_bounds(self):
+        bv = BitVector(16)
+        with pytest.raises(IndexError):
+            bv.write_field(10, 8, 1)
+
+    def test_popcount_window(self):
+        bv = BitVector(16, 0b1111_0000_1111_0000)
+        assert bv.popcount() == 8
+        assert bv.popcount(0, 8) == 4
+        assert bv.popcount(4, 8) == 4
+        assert bv.count_zeros(0, 4) == 4
+
+    def test_bytes_roundtrip(self):
+        bv = BitVector(20, 0xABCDE)
+        restored = BitVector.from_bytes(bv.to_bytes(), 20)
+        assert restored == bv
+        assert hash(restored) == hash(bv)
+
+    def test_copy_independent(self):
+        bv = BitVector(8, 3)
+        cp = bv.copy()
+        cp.set_bit(7)
+        assert bv.value == 3
+        assert cp.value != 3
+
+    def test_clear(self):
+        bv = BitVector(8, 0xFF)
+        bv.clear()
+        assert bv.value == 0
+
+    def test_equality_needs_same_width(self):
+        assert BitVector(8, 1) != BitVector(9, 1)
+        assert BitVector(8, 1) != 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.integers(1, 200),
+    st.data(),
+)
+def test_fields_are_disjoint(width, data):
+    """Writes to non-overlapping fields never disturb each other."""
+    bv = BitVector(width)
+    split = data.draw(st.integers(0, width))
+    left_width, right_width = split, width - split
+    left = data.draw(st.integers(0, (1 << left_width) - 1)) if left_width else 0
+    right = data.draw(st.integers(0, (1 << right_width) - 1)) if right_width else 0
+    if left_width:
+        bv.write_field(0, left_width, left)
+    if right_width:
+        bv.write_field(split, right_width, right)
+    if left_width:
+        assert bv.read_field(0, left_width) == left
+    if right_width:
+        assert bv.read_field(split, right_width) == right
+    assert bv.popcount() == left.bit_count() + right.bit_count()

@@ -1,0 +1,166 @@
+"""Tests for block selection (the NT-size machinery)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blocks import (
+    BLOCK_EMPTY,
+    BLOCK_LEFT,
+    BLOCK_MIDDLE,
+    BLOCK_RIGHT,
+    BlockChoice,
+    count_hash_misses,
+    residue_counts_upto,
+    select_block,
+)
+
+
+def brute_nt(neighbors, max_id, choice, slot_bits):
+    """Reference NT-size: simulate the NE-test for every universe ID."""
+    members = choice.members(neighbors)
+    m = slot_bits(choice.size)
+    slot = set()
+    member_set = set(members)
+    for x in neighbors:
+        if x not in member_set:
+            slot.add(x % m)
+    passed = 0
+    for probe in range(1, max_id + 1):
+        if choice.kind == BLOCK_LEFT:
+            in_range = probe <= members[-1]
+        elif choice.kind == BLOCK_RIGHT:
+            in_range = probe >= members[0]
+        elif choice.kind == BLOCK_MIDDLE:
+            in_range = members[0] <= probe <= members[-1]
+        else:
+            in_range = False
+        if in_range:
+            passed += probe not in member_set
+        else:
+            passed += (probe % m) not in slot
+    return passed
+
+
+class TestResidueCounts:
+    def test_small_exact(self):
+        # x in [1, 10] mod 4: residues 1,2,3,0,1,2,3,0,1,2
+        assert residue_counts_upto(10, 4).tolist() == [2, 3, 3, 2]
+
+    def test_zero_and_negative(self):
+        assert residue_counts_upto(0, 5).tolist() == [0] * 5
+        assert residue_counts_upto(-3, 5).tolist() == [0] * 5
+
+    def test_sums_to_y(self):
+        for y in (1, 7, 63, 64, 65, 1000):
+            for m in (1, 2, 7, 64):
+                assert residue_counts_upto(y, m).sum() == y
+
+
+class TestCountHashMisses:
+    def test_no_range(self):
+        zero = np.array([True, False, True])
+        # IDs 1..9 with residues mod 3; free residues are 0 and 2.
+        expected = sum(1 for x in range(1, 10) if x % 3 in (0, 2))
+        assert count_hash_misses(zero, 9) == expected
+
+    def test_excluded_range(self):
+        zero = np.array([True, True])
+        # All residues free; exclude [3, 5] -> 10 - 3 = 7 IDs.
+        assert count_hash_misses(zero, 10, 3, 5) == 7
+
+
+class TestSelectBlock:
+    def test_empty_neighbors_rejected(self):
+        with pytest.raises(ValueError):
+            select_block([], 100, lambda t: 32, 4)
+
+    def test_infeasible_layout_rejected(self):
+        with pytest.raises(ValueError):
+            select_block([1, 2, 3], 100, lambda t: 0, 2)
+
+    def test_single_neighbor_gives_empty_block(self):
+        choice = select_block([5], 100, lambda t: 32, 4)
+        assert choice.kind == BLOCK_EMPTY
+        assert choice.size == 0
+
+    def test_members_view(self):
+        choice = BlockChoice(BLOCK_MIDDLE, 1, 2, 0)
+        assert choice.members([10, 20, 30, 40]) == [20, 30]
+
+    @pytest.mark.parametrize("budget", [None, 4])
+    def test_nt_value_matches_brute_force(self, budget):
+        neighbors = [3, 9, 17, 40, 41, 55, 90, 120]
+        max_id = 150
+
+        def slot_bits(t):
+            return 64 - 8 * t
+
+        choice = select_block(neighbors, max_id, slot_bits, max_size=4,
+                              budget=budget)
+        assert choice.nt_size == brute_nt(neighbors, max_id, choice,
+                                          slot_bits)
+
+    def test_exhaustive_is_optimal_over_all_windows(self):
+        neighbors = [2, 5, 9, 21, 22, 23, 70]
+        max_id = 100
+
+        def slot_bits(t):
+            return 40 - 6 * t
+
+        best = select_block(neighbors, max_id, slot_bits, max_size=3,
+                            budget=None)
+        # Enumerate every candidate by hand and check none beats it.
+        for size in range(0, 4):
+            if slot_bits(size) < 1:
+                continue
+            if size == 0:
+                starts = [0]
+            else:
+                starts = range(len(neighbors) - size + 1)
+            for start in starts:
+                if size == 0:
+                    cand = BlockChoice(BLOCK_EMPTY, 0, 0, 0)
+                elif start == 0:
+                    cand = BlockChoice(BLOCK_LEFT, start, size, 0)
+                elif start == len(neighbors) - size:
+                    cand = BlockChoice(BLOCK_RIGHT, start, size, 0)
+                else:
+                    cand = BlockChoice(BLOCK_MIDDLE, start, size, 0)
+                nt = brute_nt(neighbors, max_id, cand, slot_bits) \
+                    if size else brute_nt(neighbors, max_id, cand, slot_bits)
+                assert nt <= best.nt_size, (cand, nt, best)
+
+    def test_shortlist_close_to_exhaustive(self):
+        rng = np.random.default_rng(1)
+        neighbors = sorted(rng.choice(
+            np.arange(1, 2000), size=60, replace=False).tolist())
+
+        def slot_bits(t):
+            return 200 - 12 * t
+
+        exact = select_block(neighbors, 2000, slot_bits, max_size=8,
+                             budget=None)
+        short = select_block(neighbors, 2000, slot_bits, max_size=8,
+                             budget=8)
+        assert short.nt_size >= 0.95 * exact.nt_size
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    neighbors=st.sets(st.integers(1, 300), min_size=1, max_size=25),
+    max_size=st.integers(1, 6),
+    budget=st.sampled_from([None, 2, 8]),
+)
+def test_select_block_nt_always_exact(neighbors, max_size, budget):
+    """Whatever window wins, its reported NT equals the brute force."""
+    neighbors = sorted(neighbors)
+    max_id = 300
+
+    def slot_bits(t):
+        return 48 - 7 * t
+
+    choice = select_block(neighbors, max_id, slot_bits,
+                          max_size=max_size, budget=budget)
+    assert choice.nt_size == brute_nt(neighbors, max_id, choice, slot_bits)

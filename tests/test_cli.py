@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph import powerlaw_graph, write_edge_list
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    graph = powerlaw_graph(200, avg_degree=8, seed=50)
+    path = tmp_path / "graph.txt"
+    write_edge_list(graph, path)
+    return path
+
+
+def run(args):
+    return main([str(a) for a in args])
+
+
+class TestGenerate:
+    def test_generate_powerlaw(self, tmp_path, capsys):
+        out = tmp_path / "g.txt"
+        assert run(["generate", "--powerlaw", 300, 8, "--out", out]) == 0
+        assert out.exists()
+        assert "|V|=" in capsys.readouterr().out
+
+    def test_generate_dataset(self, tmp_path, capsys):
+        out = tmp_path / "d.txt"
+        assert run(["generate", "--dataset", "cage", "--scale", 0.05,
+                    "--out", out]) == 0
+        assert "avg degree" in capsys.readouterr().out
+
+    def test_generate_requires_source(self, tmp_path):
+        with pytest.raises(SystemExit):
+            run(["generate", "--out", tmp_path / "x.txt"])
+
+
+class TestBuildInfoQueryScore:
+    def test_full_pipeline(self, tmp_path, graph_file, capsys):
+        index = tmp_path / "g.vend"
+        assert run(["build", "--graph", graph_file, "--out", index,
+                    "--method", "hybrid", "--k", 4]) == 0
+        assert index.exists()
+
+        assert run(["info", index]) == 0
+        out = capsys.readouterr().out
+        assert "hybrid" in out and "k*" in out
+
+        assert run(["query", index, 1, 199]) == 0
+        out = capsys.readouterr().out
+        assert "NO EDGE" in out or "UNDETERMINED" in out
+
+        assert run(["score", "--index", index, "--graph", graph_file,
+                    "--pairs", 5000]) == 0
+        out = capsys.readouterr().out
+        assert "false pos : 0" in out
+
+    def test_hybplus_build(self, tmp_path, graph_file):
+        index = tmp_path / "p.vend"
+        assert run(["build", "--graph", graph_file, "--out", index,
+                    "--method", "hyb+", "--k", 4]) == 0
+
+    def test_common_workload_score(self, tmp_path, graph_file, capsys):
+        index = tmp_path / "g.vend"
+        run(["build", "--graph", graph_file, "--out", index, "--k", 4])
+        capsys.readouterr()
+        assert run(["score", "--index", index, "--graph", graph_file,
+                    "--pairs", 2000, "--workload", "common"]) == 0
+        assert "score" in capsys.readouterr().out
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            run(["frobnicate"])
+
+
+class TestAnalyze:
+    def test_analyze_output(self, tmp_path, graph_file, capsys):
+        index = tmp_path / "a.vend"
+        run(["build", "--graph", graph_file, "--out", index, "--k", 4])
+        capsys.readouterr()
+        assert run(["analyze", "--index", index, "--graph", graph_file,
+                    "--pairs", 2000]) == 0
+        out = capsys.readouterr().out
+        assert "decodable" in out
+        assert "core-core" in out

@@ -1,0 +1,82 @@
+"""Tests for the clustering-coefficient application."""
+
+import pytest
+
+from repro.apps import average_clustering, local_clustering
+from repro.core import HybridVend
+from repro.graph import Graph, powerlaw_graph
+from repro.storage import GraphStore
+
+
+def reference_local(graph, v):
+    neighbors = graph.sorted_neighbors(v)
+    degree = len(neighbors)
+    if degree < 2:
+        return 0.0
+    closed = sum(
+        1
+        for i, u in enumerate(neighbors)
+        for w in neighbors[i + 1:]
+        if graph.has_edge(u, w)
+    )
+    return 2.0 * closed / (degree * (degree - 1))
+
+
+@pytest.fixture
+def stored(tmp_path):
+    graph = powerlaw_graph(150, avg_degree=8, seed=60)
+    store = GraphStore(tmp_path / "c.log")
+    store.bulk_load(graph)
+    yield graph, store
+    store.close()
+
+
+class TestLocalClustering:
+    def test_triangle_is_fully_clustered(self):
+        graph = Graph([(1, 2), (2, 3), (1, 3)])
+        store = GraphStore()
+        store.bulk_load(graph)
+        assert local_clustering(store, 1) == 1.0
+
+    def test_star_center_is_zero(self):
+        graph = Graph([(1, 2), (1, 3), (1, 4)])
+        store = GraphStore()
+        store.bulk_load(graph)
+        assert local_clustering(store, 1) == 0.0
+        assert local_clustering(store, 2) == 0.0  # degree 1
+
+    def test_matches_reference(self, stored):
+        graph, store = stored
+        for v in list(graph.vertices())[:30]:
+            assert local_clustering(store, v) == pytest.approx(
+                reference_local(graph, v)
+            )
+
+    def test_vend_does_not_change_result(self, stored):
+        graph, store = stored
+        vend = HybridVend(k=4)
+        vend.build(graph)
+        for v in list(graph.vertices())[:20]:
+            assert local_clustering(store, v, vend) == pytest.approx(
+                local_clustering(store, v)
+            )
+
+
+class TestAverageClustering:
+    def test_average_with_and_without_vend(self, stored):
+        graph, store = stored
+        vend = HybridVend(k=4)
+        vend.build(graph)
+        sample = sorted(graph.vertices())[:60]
+        plain = average_clustering(store, vertices=sample)
+        fast = average_clustering(store, vend, vertices=sample)
+        assert fast.coefficient == pytest.approx(plain.coefficient)
+        assert fast.filtered_queries > 0
+        assert fast.disk_reads < plain.disk_reads
+        assert plain.vertices == fast.vertices == 60
+
+    def test_empty_store(self):
+        store = GraphStore()
+        stats = average_clustering(store)
+        assert stats.coefficient == 0.0
+        assert stats.vertices == 0

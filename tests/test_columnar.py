@@ -1,0 +1,92 @@
+"""Tests for the columnar batch NDF."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import HybPlusVend, HybridVend
+from repro.core.columnar import ColumnarIndex
+from repro.graph import erdos_renyi_graph, powerlaw_graph
+from repro.workloads import common_neighbor_pairs, random_pairs
+
+from .conftest import all_pairs
+
+
+@pytest.fixture(scope="module", params=[HybridVend, HybPlusVend])
+def built(request):
+    graph = powerlaw_graph(250, avg_degree=10, seed=130)
+    solution = request.param(k=4)
+    solution.build(graph)
+    return graph, solution, ColumnarIndex(solution)
+
+
+class TestAgreement:
+    def test_matches_scalar_on_all_pairs(self, built):
+        graph, solution, snapshot = built
+        pairs = list(all_pairs(graph))[:20000]
+        batch = snapshot.query_pairs(pairs)
+        for (u, v), claim in zip(pairs, batch):
+            assert claim == solution.is_nonedge(u, v), (u, v)
+
+    def test_matches_scalar_on_workloads(self, built):
+        graph, solution, snapshot = built
+        for pairs in (
+            random_pairs(graph, 5000, seed=131),
+            common_neighbor_pairs(graph, 5000, seed=132),
+        ):
+            batch = snapshot.query_pairs(pairs)
+            scalar = [solution.is_nonedge(u, v) for u, v in pairs]
+            assert batch.tolist() == scalar
+
+    def test_self_and_unknown_pairs_false(self, built):
+        _, _, snapshot = built
+        result = snapshot.query_pairs([(1, 1), (1, 10**7), (10**7, 1)])
+        assert result.tolist() == [False, False, False]
+
+    def test_empty_batch(self, built):
+        _, _, snapshot = built
+        assert snapshot.query_pairs([]).tolist() == []
+
+    def test_misaligned_arrays_rejected(self, built):
+        _, _, snapshot = built
+        with pytest.raises(ValueError):
+            snapshot.query_batch(np.array([1, 2]), np.array([3]))
+
+
+class TestSnapshotLifecycle:
+    def test_requires_built_index(self):
+        with pytest.raises(ValueError):
+            ColumnarIndex(HybridVend(k=2))
+
+    def test_counts_and_memory(self, built):
+        graph, solution, snapshot = built
+        assert snapshot.num_codes == solution.num_codes
+        assert snapshot.memory_bytes() > 0
+
+    def test_snapshot_is_isolated_from_maintenance(self, built):
+        """Post-snapshot maintenance does not change batch answers."""
+        graph, solution, snapshot = built
+        pairs = random_pairs(graph, 500, seed=133)
+        before = snapshot.query_pairs(pairs).tolist()
+        work = graph.copy()
+        u, v = next(
+            (a, b) for a, b in pairs if not work.has_edge(a, b)
+        )
+        work.add_edge(u, v)
+        solution.insert_edge(u, v, work.sorted_neighbors)
+        assert snapshot.query_pairs(pairs).tolist() == before
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 500), k=st.sampled_from([1, 2, 4]))
+def test_columnar_scalar_equivalence_property(seed, k):
+    """For arbitrary graphs, the columnar NDF equals the scalar NDF."""
+    graph = erdos_renyi_graph(40, 150, seed=seed)
+    solution = HybridVend(k=k)
+    solution.build(graph)
+    snapshot = ColumnarIndex(solution)
+    pairs = list(all_pairs(graph))
+    batch = snapshot.query_pairs(pairs)
+    scalar = [solution.is_nonedge(u, v) for u, v in pairs]
+    assert batch.tolist() == scalar

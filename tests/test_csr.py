@@ -1,0 +1,50 @@
+"""Tests for the CSR snapshot."""
+
+from repro.graph import CSRGraph, Graph, erdos_renyi_graph
+
+from .conftest import all_pairs, paper_example_graph
+
+
+class TestCSR:
+    def test_counts(self):
+        g = paper_example_graph()
+        csr = CSRGraph(g)
+        assert csr.num_vertices == g.num_vertices
+        assert csr.num_edges == g.num_edges
+
+    def test_edge_queries_match(self):
+        g = erdos_renyi_graph(80, 400, seed=110)
+        csr = CSRGraph(g)
+        for u, v in all_pairs(g):
+            assert csr.has_edge(u, v) == g.has_edge(u, v)
+
+    def test_unknown_vertices(self):
+        csr = CSRGraph(Graph([(1, 2)]))
+        assert not csr.has_edge(1, 99)
+        assert not csr.has_edge(99, 1)
+
+    def test_neighbors_and_degree(self):
+        g = paper_example_graph()
+        csr = CSRGraph(g)
+        for v in g.vertices():
+            assert csr.neighbors(v).tolist() == g.sorted_neighbors(v)
+            assert csr.degree(v) == g.degree(v)
+
+    def test_non_contiguous_ids(self):
+        g = Graph([(10, 500), (500, 9000)])
+        csr = CSRGraph(g)
+        assert csr.has_edge(10, 500)
+        assert not csr.has_edge(10, 9000)
+
+    def test_triangle_count_matches_reference(self):
+        g = erdos_renyi_graph(60, 300, seed=111)
+        csr = CSRGraph(g)
+        expected = sum(
+            len(g.neighbors(u) & g.neighbors(v)) for u, v in g.edges()
+        ) // 3
+        assert csr.triangle_count() == expected
+
+    def test_memory_accounting(self):
+        g = erdos_renyi_graph(50, 200, seed=112)
+        csr = CSRGraph(g)
+        assert csr.memory_bytes() >= 2 * g.num_edges * 8

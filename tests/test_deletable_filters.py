@@ -1,0 +1,114 @@
+"""Tests for DBF and TBF — including the paper's disqualifying flaws."""
+
+import pytest
+
+from repro.filters import DeletableBloomFilter, TernaryBloomFilter
+from repro.graph import erdos_renyi_graph
+
+from .conftest import assert_no_false_positives
+
+
+def _build(cls, graph, **kwargs):
+    filt = cls(k=4, **kwargs)
+    filt.build(graph)
+    return filt
+
+
+class TestDeletableBloom:
+    def test_static_soundness(self):
+        g = erdos_renyi_graph(100, 400, seed=100)
+        f = _build(DeletableBloomFilter, g)
+        assert assert_no_false_positives(f, g) > 0
+
+    def test_deletion_in_clean_region_restores_detection(self):
+        g = erdos_renyi_graph(30, 40, seed=101)
+        f = _build(DeletableBloomFilter, g)
+        # Find an edge whose deletion actually frees a bit.
+        for u, v in list(g.edges()):
+            g.remove_edge(u, v)
+            f.delete_edge(u, v)
+            if f.is_nonedge(u, v):
+                break
+            g.add_edge(u, v)
+            f.insert_edge(u, v)
+        else:
+            pytest.skip("every edge hashed into collided regions")
+        assert_no_false_positives(f, g)
+
+    def test_bits_decay_under_churn(self):
+        """The paper's complaint: set bits become permanent over time."""
+        import random
+
+        g = erdos_renyi_graph(60, 200, seed=102)
+        f = _build(DeletableBloomFilter, g, regions=32)
+        rng = random.Random(102)
+        vertices = sorted(g.vertices())
+        before = f.permanently_set_fraction()
+        for _ in range(600):
+            u, v = rng.sample(vertices, 2)
+            if g.add_edge(u, v):
+                f.insert_edge(u, v)
+            elif g.has_edge(u, v):
+                g.remove_edge(u, v)
+                f.delete_edge(u, v)
+        after = f.permanently_set_fraction()
+        assert after >= before
+        assert after > 0.5, "churn should lock in most set bits"
+        assert_no_false_positives(f, g)  # decayed, but still sound
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            DeletableBloomFilter(k=0)
+        with pytest.raises(ValueError):
+            DeletableBloomFilter(k=2, regions=0)
+
+
+class TestTernaryBloom:
+    def test_flagged_unsafe_for_vend(self):
+        assert TernaryBloomFilter.is_vend_safe is False
+
+    def test_static_soundness(self):
+        g = erdos_renyi_graph(100, 400, seed=103)
+        f = _build(TernaryBloomFilter, g)
+        assert_no_false_positives(f, g)
+
+    def test_false_negative_demonstration(self):
+        """Four colliding inserts + three deletes -> a live edge
+        reported as an NEpair: the exact violation the paper cites."""
+        import numpy as np
+
+        f = TernaryBloomFilter(k=1, num_hashes=1)
+        f._counters = np.zeros(1, dtype="uint8")  # everything collides
+        f.insert_edge(1, 2)   # 1
+        f.insert_edge(3, 4)   # 2
+        f.insert_edge(5, 6)   # 3 ("three or more")
+        f.insert_edge(7, 8)   # still 3: the fourth element is forgotten
+        f.delete_edge(1, 2)   # 2
+        f.delete_edge(3, 4)   # 1
+        f.delete_edge(5, 6)   # 0 -- but (7, 8) is still inserted!
+        assert f.is_nonedge(7, 8), "the documented TBF false negative"
+
+    def test_false_negative_under_small_counters(self):
+        """With realistic collisions, deletion can hide a live edge."""
+        import random
+
+        g = erdos_renyi_graph(40, 300, seed=104)
+        f = TernaryBloomFilter(k=1, num_hashes=2)
+        # Deliberately tiny slot: heavy collisions.
+        f.num_hashes = 2
+        f._counters = __import__("numpy").zeros(64, dtype="uint8")
+        for u, v in g.edges():
+            f.insert_edge(u, v)
+        rng = random.Random(104)
+        edges = list(g.edges())
+        rng.shuffle(edges)
+        for u, v in edges[:150]:
+            g.remove_edge(u, v)
+            f.delete_edge(u, v)
+        false_negatives = sum(
+            1 for u, v in g.edges() if f.is_nonedge(u, v)
+        )
+        # The violation the paper predicts: some existing edges are
+        # reported as NEpairs. (If collisions were milder this could be
+        # 0; the tiny slot makes it deterministic for this seed.)
+        assert false_negatives > 0

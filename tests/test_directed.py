@@ -1,0 +1,60 @@
+"""Tests for the directed-graph VEND extension."""
+
+import itertools
+import random
+
+from repro.core import DirectedVend, HybridVend
+from repro.graph import DiGraph, powerlaw_graph
+
+
+def directed_graph(seed=40):
+    base = powerlaw_graph(120, avg_degree=8, seed=seed)
+    rng = random.Random(seed)
+    digraph = DiGraph()
+    for v in base.vertices():
+        digraph.add_vertex(v)
+    for u, v in base.edges():
+        if rng.random() < 0.5:
+            digraph.add_edge(u, v)
+        else:
+            digraph.add_edge(v, u)
+        if rng.random() < 0.2:
+            digraph.add_edge(v, u)
+    return digraph
+
+
+class TestDirectedVend:
+    def test_no_false_positives_directed(self):
+        digraph = directed_graph()
+        vend = DirectedVend(HybridVend(k=4))
+        vend.build(digraph)
+        vertices = sorted(digraph.vertices())
+        for u, v in itertools.permutations(vertices[:60], 2):
+            if digraph.has_edge(u, v):
+                assert not vend.is_nonedge(u, v), (u, v)
+
+    def test_detects_directed_nonedges(self):
+        digraph = directed_graph()
+        vend = DirectedVend(HybridVend(k=4))
+        vend.build(digraph)
+        vertices = sorted(digraph.vertices())
+        detected = sum(
+            1 for u, v in itertools.permutations(vertices[:60], 2)
+            if not digraph.has_edge(u, v) and vend.is_nonedge(u, v)
+        )
+        assert detected > 0
+
+    def test_symmetric_determination(self):
+        """The undirected base cannot separate u->v from v->u."""
+        digraph = directed_graph()
+        vend = DirectedVend(HybridVend(k=4))
+        vend.build(digraph)
+        vertices = sorted(digraph.vertices())
+        for u, v in itertools.combinations(vertices[:40], 2):
+            assert vend.is_nonedge(u, v) == vend.is_nonedge(v, u)
+
+    def test_name_and_memory(self):
+        vend = DirectedVend(HybridVend(k=2))
+        assert vend.name == "directed-hybrid"
+        vend.build(directed_graph())
+        assert vend.memory_bytes() > 0

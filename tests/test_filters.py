@@ -1,0 +1,197 @@
+"""Tests for the Bloom-filter comparators (SBF, BBF, CBF, LBF)."""
+
+import pytest
+
+from repro.filters import (
+    BlockedBloomFilter,
+    CountingBloomFilter,
+    LocalBloomFilter,
+    StandardBloomFilter,
+    edge_hash,
+    mix64,
+    optimal_hash_count,
+    vertex_hash,
+)
+from repro.graph import erdos_renyi_graph, powerlaw_graph
+
+from .conftest import all_pairs, assert_no_false_positives
+
+
+class TestHashing:
+    def test_mix64_deterministic_and_spread(self):
+        values = {mix64(i) for i in range(1000)}
+        assert len(values) == 1000
+        assert all(0 <= v < 2**64 for v in values)
+
+    def test_edge_hash_symmetric(self):
+        assert edge_hash(3, 9, 0) == edge_hash(9, 3, 0)
+        assert edge_hash(3, 9, 0) != edge_hash(3, 9, 1)
+
+    def test_vertex_hash_salts_differ(self):
+        assert vertex_hash(5, 0) != vertex_hash(5, 1)
+
+    def test_optimal_hash_count(self):
+        assert optimal_hash_count(1000, 100) == 7
+        assert optimal_hash_count(1000, 0) == 1
+        assert optimal_hash_count(10**9, 1) == 16  # clamped
+
+
+def _build(cls, graph, k=4, **kwargs):
+    filt = cls(k=k, **kwargs)
+    filt.build(graph)
+    return filt
+
+
+class TestStandardBloom:
+    def test_soundness_and_detection(self):
+        g = powerlaw_graph(200, avg_degree=8, seed=1)
+        f = _build(StandardBloomFilter, g)
+        assert assert_no_false_positives(f, g) > 0
+
+    def test_self_pair(self):
+        g = erdos_renyi_graph(30, 60, seed=2)
+        f = _build(StandardBloomFilter, g)
+        assert not f.is_nonedge(5, 5)
+
+    def test_insert_edge(self):
+        g = erdos_renyi_graph(50, 100, seed=3)
+        f = _build(StandardBloomFilter, g)
+        pair = next(
+            (u, v) for u, v in all_pairs(g)
+            if not g.has_edge(u, v) and f.is_nonedge(u, v)
+        )
+        f.insert_edge(*pair)
+        assert not f.is_nonedge(*pair)
+
+    def test_delete_rebuilds_globally(self):
+        g = erdos_renyi_graph(40, 120, seed=4)
+        f = _build(StandardBloomFilter, g)
+        u, v = next(iter(g.edges()))
+        g.remove_edge(u, v)
+        f.delete_edge(u, v, g.edges())
+        assert f.rebuilds == 1
+        assert_no_false_positives(f, g)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            StandardBloomFilter(k=0)
+
+    def test_memory_budget_matches_vend(self):
+        g = erdos_renyi_graph(100, 300, seed=5)
+        f = _build(StandardBloomFilter, g, k=4)
+        assert f.memory_bytes() == 100 * 4 * 32 // 8
+
+
+class TestBlockedBloom:
+    def test_soundness(self):
+        g = powerlaw_graph(200, avg_degree=8, seed=6)
+        f = _build(BlockedBloomFilter, g)
+        assert assert_no_false_positives(f, g) > 0
+
+    def test_delete_rebuilds_one_block_but_scans_all_edges(self):
+        g = erdos_renyi_graph(60, 200, seed=7)
+        f = _build(BlockedBloomFilter, g)
+        u, v = next(iter(g.edges()))
+        g.remove_edge(u, v)
+        f.delete_edge(u, v, g.edges())
+        assert f.block_rebuilds == 1
+        assert f.edges_rehashed == g.num_edges
+        assert_no_false_positives(f, g)
+
+    def test_block_assignment_stable(self):
+        g = erdos_renyi_graph(50, 150, seed=8)
+        f = _build(BlockedBloomFilter, g)
+        assert f.block_of(1, 2) == f.block_of(2, 1)
+        assert 0 <= f.block_of(1, 2) < f.num_blocks
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            BlockedBloomFilter(k=0)
+        with pytest.raises(ValueError):
+            BlockedBloomFilter(k=2, block_bits=4)
+
+
+class TestCountingBloom:
+    def test_soundness(self):
+        g = powerlaw_graph(150, avg_degree=8, seed=9)
+        f = _build(CountingBloomFilter, g)
+        assert_no_false_positives(f, g)
+
+    def test_delete_is_incremental(self):
+        g = erdos_renyi_graph(40, 120, seed=10)
+        f = _build(CountingBloomFilter, g)
+        u, v = next(iter(g.edges()))
+        g.remove_edge(u, v)
+        f.delete_edge(u, v)
+        assert_no_false_positives(f, g)
+
+    def test_insert_delete_roundtrip_detection(self):
+        g = erdos_renyi_graph(40, 80, seed=11)
+        f = _build(CountingBloomFilter, g)
+        pair = next(
+            (u, v) for u, v in all_pairs(g)
+            if not g.has_edge(u, v) and f.is_nonedge(u, v)
+        )
+        f.insert_edge(*pair)
+        assert not f.is_nonedge(*pair)
+        f.delete_edge(*pair)
+        assert f.is_nonedge(*pair)
+
+    def test_higher_fpr_than_sbf(self):
+        """Quarter of the slots -> CBF detects fewer NEpairs than SBF."""
+        g = powerlaw_graph(300, avg_degree=10, seed=12)
+        sbf = _build(StandardBloomFilter, g, k=2)
+        cbf = _build(CountingBloomFilter, g, k=2)
+        pairs = [(u, v) for u, v in all_pairs(g) if not g.has_edge(u, v)]
+        sbf_hits = sum(1 for u, v in pairs if sbf.is_nonedge(u, v))
+        cbf_hits = sum(1 for u, v in pairs if cbf.is_nonedge(u, v))
+        assert cbf_hits <= sbf_hits
+
+
+class TestLocalBloom:
+    def test_soundness(self):
+        g = powerlaw_graph(200, avg_degree=8, seed=13)
+        f = _build(LocalBloomFilter, g)
+        assert assert_no_false_positives(f, g) > 0
+
+    def test_insert_then_query(self):
+        g = erdos_renyi_graph(50, 150, seed=14)
+        f = _build(LocalBloomFilter, g)
+        pair = next(
+            (u, v) for u, v in all_pairs(g)
+            if not g.has_edge(u, v) and f.is_nonedge(u, v)
+        )
+        g.add_edge(*pair)
+        f.insert_edge(*pair)
+        assert not f.is_nonedge(*pair)
+        assert_no_false_positives(f, g)
+
+    def test_delete_local_rebuild(self):
+        g = erdos_renyi_graph(40, 200, seed=15)
+        f = _build(LocalBloomFilter, g)
+        u, v = next(iter(g.edges()))
+        g.remove_edge(u, v)
+        f.delete_edge(u, v, g.sorted_neighbors)
+        assert_no_false_positives(f, g)
+
+    def test_churn_soundness(self):
+        import random
+
+        g = erdos_renyi_graph(40, 120, seed=16)
+        f = _build(LocalBloomFilter, g)
+        rng = random.Random(16)
+        vertices = sorted(g.vertices())
+        for _ in range(200):
+            u, v = rng.sample(vertices, 2)
+            if rng.random() < 0.5:
+                if g.add_edge(u, v):
+                    f.insert_edge(u, v)
+            elif g.has_edge(u, v):
+                g.remove_edge(u, v)
+                f.delete_edge(u, v, g.sorted_neighbors)
+        assert_no_false_positives(f, g)
+
+    def test_unknown_vertex(self):
+        g = erdos_renyi_graph(20, 40, seed=17)
+        f = _build(LocalBloomFilter, g)
+        assert not f.is_nonedge(1, 10**6)

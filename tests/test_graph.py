@@ -1,0 +1,232 @@
+"""Unit tests for the graph substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    DiGraph,
+    Graph,
+    banded_regular_graph,
+    erdos_renyi_graph,
+    powerlaw_graph,
+    random_edge_sample,
+)
+
+
+class TestGraphBasics:
+    def test_empty_graph(self):
+        g = Graph()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert g.max_vertex_id == 0
+        assert g.average_degree() == 0.0
+
+    def test_add_edge_creates_vertices(self):
+        g = Graph()
+        assert g.add_edge(1, 2)
+        assert g.has_vertex(1) and g.has_vertex(2)
+        assert g.has_edge(1, 2) and g.has_edge(2, 1)
+        assert g.num_edges == 1
+
+    def test_duplicate_edge_ignored(self):
+        g = Graph([(1, 2)])
+        assert not g.add_edge(2, 1)
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_edge(3, 3)
+
+    def test_negative_vertex_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_vertex(-1)
+
+    def test_remove_edge(self):
+        g = Graph([(1, 2), (2, 3)])
+        assert g.remove_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert not g.remove_edge(1, 2)
+        assert g.num_edges == 1
+
+    def test_remove_vertex_drops_incident_edges(self):
+        g = Graph([(1, 2), (1, 3), (2, 3)])
+        assert g.remove_vertex(1)
+        assert not g.has_vertex(1)
+        assert g.num_edges == 1
+        assert g.has_edge(2, 3)
+        assert not g.remove_vertex(1)
+
+    def test_sorted_neighbors_view(self):
+        g = Graph([(5, 9), (5, 1), (5, 4)])
+        assert g.sorted_neighbors(5) == [1, 4, 9]
+        g.add_edge(5, 7)
+        assert g.sorted_neighbors(5) == [1, 4, 7, 9]
+        g.remove_edge(5, 4)
+        assert g.sorted_neighbors(5) == [1, 7, 9]
+
+    def test_edges_iterates_once_each(self):
+        g = Graph([(1, 2), (2, 3), (1, 3)])
+        edges = sorted(g.edges())
+        assert edges == [(1, 2), (1, 3), (2, 3)]
+
+    def test_degree_and_average(self):
+        g = Graph([(1, 2), (1, 3), (1, 4)])
+        assert g.degree(1) == 3
+        assert g.degree(2) == 1
+        assert g.average_degree() == pytest.approx(6 / 4)
+
+    def test_degree_histogram(self):
+        g = Graph([(1, 2), (1, 3), (1, 4)])
+        assert g.degree_histogram() == {3: 1, 1: 3}
+
+    def test_copy_is_independent(self):
+        g = Graph([(1, 2)])
+        h = g.copy()
+        h.add_edge(2, 3)
+        assert not g.has_edge(2, 3)
+        assert h.has_edge(2, 3)
+
+    def test_contains_and_len(self):
+        g = Graph([(1, 2)])
+        assert 1 in g and 3 not in g
+        assert len(g) == 2
+
+
+class TestDiGraph:
+    def test_directed_edges(self):
+        g = DiGraph([(1, 2)])
+        assert g.has_edge(1, 2)
+        assert not g.has_edge(2, 1)
+        assert g.out_neighbors(1) == {2}
+        assert g.in_neighbors(2) == {1}
+
+    def test_as_undirected(self):
+        g = DiGraph([(1, 2), (2, 1), (2, 3)])
+        u = g.as_undirected()
+        assert u.num_edges == 2
+        assert u.has_edge(1, 2) and u.has_edge(2, 3)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            DiGraph([(1, 1)])
+
+
+class TestGenerators:
+    def test_powerlaw_shape(self):
+        g = powerlaw_graph(2000, avg_degree=10, seed=1)
+        assert g.num_vertices == 2000
+        # Power law: max degree far exceeds the average.
+        max_degree = max(g.degree(v) for v in g.vertices())
+        assert max_degree > 5 * g.average_degree()
+
+    def test_powerlaw_deterministic(self):
+        a = powerlaw_graph(500, avg_degree=8, seed=42)
+        b = powerlaw_graph(500, avg_degree=8, seed=42)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_powerlaw_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            powerlaw_graph(2)
+
+    def test_banded_regular_non_powerlaw(self):
+        g = banded_regular_graph(1000, degree=16, seed=2)
+        degrees = [g.degree(v) for v in g.vertices()]
+        avg = sum(degrees) / len(degrees)
+        # Near-regular: most vertices close to the target degree.
+        close = sum(1 for d in degrees if abs(d - avg) <= 8)
+        assert close / len(degrees) > 0.9
+        assert avg > 10
+
+    def test_banded_locality(self):
+        g = banded_regular_graph(1000, degree=10, bandwidth=50, seed=2)
+        assert all(abs(u - v) <= 50 for u, v in g.edges())
+
+    def test_erdos_renyi_exact_edges(self):
+        g = erdos_renyi_graph(100, 300, seed=5)
+        assert g.num_edges == 300
+        assert g.num_vertices == 100
+
+    def test_erdos_renyi_too_many_edges(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(4, 10)
+
+    def test_random_edge_sample(self):
+        g = erdos_renyi_graph(50, 100, seed=1)
+        sample = random_edge_sample(g, 10, seed=2)
+        assert len(sample) == 10
+        assert all(g.has_edge(u, v) for u, v in sample)
+        everything = random_edge_sample(g, 10**6)
+        assert len(everything) == 100
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(
+    st.tuples(st.integers(1, 30), st.integers(1, 30)).filter(lambda e: e[0] != e[1]),
+    max_size=60,
+))
+def test_graph_edge_count_invariant(edges):
+    """|E| always equals the number of distinct unordered pairs added."""
+    g = Graph(edges)
+    distinct = {frozenset(e) for e in edges}
+    assert g.num_edges == len(distinct)
+    assert g.num_edges == sum(g.degree(v) for v in g.vertices()) / 2
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(
+    st.tuples(st.integers(1, 20), st.integers(1, 20)).filter(lambda e: e[0] != e[1]),
+    min_size=1, max_size=40,
+))
+def test_graph_remove_restores_state(edges):
+    """Adding then removing an edge restores adjacency exactly."""
+    g = Graph(edges)
+    before = {v: sorted(g.neighbors(v)) for v in g.vertices()}
+    extra = (25, 26)
+    g.add_edge(*extra)
+    g.remove_edge(*extra)
+    after = {v: sorted(g.neighbors(v)) for v in g.vertices() if v not in extra}
+    assert before == after
+
+
+class TestRMAT:
+    def test_vertex_count_and_determinism(self):
+        from repro.graph import rmat_graph
+
+        a = rmat_graph(8, 2000, seed=7)
+        b = rmat_graph(8, 2000, seed=7)
+        assert a.num_vertices == 256
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_skew_produces_hubs(self):
+        from repro.graph import rmat_graph
+
+        g = rmat_graph(10, 8000, seed=8)
+        max_degree = max(g.degree(v) for v in g.vertices())
+        assert max_degree > 5 * g.average_degree()
+
+    def test_uniform_quadrants_are_not_skewed(self):
+        from repro.graph import rmat_graph
+
+        g = rmat_graph(10, 8000, a=0.25, b=0.25, c=0.25, seed=9)
+        max_degree = max(g.degree(v) for v in g.vertices())
+        assert max_degree < 5 * g.average_degree()
+
+    def test_validation(self):
+        import pytest
+
+        from repro.graph import rmat_graph
+
+        with pytest.raises(ValueError):
+            rmat_graph(1, 10)
+        with pytest.raises(ValueError):
+            rmat_graph(4, 10, a=0.9, b=0.3, c=0.3)
+
+    def test_simple_graph_projection(self):
+        from repro.graph import rmat_graph
+
+        g = rmat_graph(6, 500, seed=10)
+        for u, v in g.edges():
+            assert u != v

@@ -1,0 +1,107 @@
+"""Tests for the hyb+ (SS-tree + Stream VByte) VEND solution."""
+
+import random
+
+import pytest
+
+from repro.core.hybplus import HybPlusVend
+from repro.core.hybrid import HybridVend
+from repro.graph import erdos_renyi_graph, powerlaw_graph
+
+from .conftest import all_pairs, assert_no_false_positives, paper_example_graph
+
+
+def build(graph, k=2, **kwargs):
+    solution = HybPlusVend(k=k, **kwargs)
+    solution.build(graph)
+    return solution
+
+
+class TestEncoding:
+    def test_invalid_scalar(self):
+        with pytest.raises(ValueError):
+            HybPlusVend(k=2, scalar=1)
+
+    def test_every_vertex_encoded(self):
+        g = powerlaw_graph(150, avg_degree=8, seed=1)
+        s = build(g, k=2)
+        assert s.num_codes == g.num_vertices
+
+    def test_core_codes_parse(self):
+        g = powerlaw_graph(150, avg_degree=12, seed=2)
+        s = build(g, k=2)
+        cores = [v for v in g.vertices() if not s.is_decodable(v)]
+        assert cores
+        for v in cores[:20]:
+            (kind, size, head, tail, controls, actives,
+             _do, slot_offset, m) = s._parse_core(s.code_of(v))
+            assert m >= 1
+            assert slot_offset + m == s.total_bits
+            if size >= 2:
+                assert head < tail
+            assert sum(actives) == max(0, size - 2)
+
+    def test_decodable_same_as_hybrid(self):
+        g = paper_example_graph()
+        s = build(g, k=2)
+        assert s.is_decodable(5)
+        assert s.decoded_ids(5) == [3]
+
+
+class TestNDF:
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_no_false_positives(self, k):
+        g = powerlaw_graph(200, avg_degree=8, seed=3)
+        s = build(g, k=k)
+        detected = assert_no_false_positives(s, g)
+        assert detected > 0
+
+    @pytest.mark.parametrize("scalar", [2, 4, 8])
+    def test_sound_across_scalars(self, scalar):
+        g = powerlaw_graph(120, avg_degree=10, seed=4)
+        s = build(g, k=2, scalar=scalar)
+        assert_no_false_positives(s, g)
+
+    def test_score_at_least_hybrid(self):
+        """hyb+ compression frees slot bits: score >= hybrid's (Fig. 7/8)."""
+        g = powerlaw_graph(250, avg_degree=10, seed=5)
+        hyb = HybridVend(k=2)
+        hyb.build(g)
+        plus = build(g, k=2)
+        pairs = [(u, v) for u, v in all_pairs(g) if not g.has_edge(u, v)]
+        hyb_score = sum(1 for u, v in pairs if hyb.is_nonedge(u, v))
+        plus_score = sum(1 for u, v in pairs if plus.is_nonedge(u, v))
+        assert plus_score >= hyb_score * 0.98
+
+    def test_nt_size_matches_brute_force(self):
+        g = powerlaw_graph(100, avg_degree=10, seed=6)
+        s = build(g, k=2)
+        max_id = g.max_vertex_id
+        for v in list(g.vertices())[:30]:
+            code = s.code_of(v)
+            brute = sum(1 for w in range(1, max_id + 1) if s.ne_test(w, code))
+            assert s.nt_size(code) == brute
+
+
+class TestMaintenance:
+    def test_churn_soundness(self):
+        g = erdos_renyi_graph(50, 250, seed=7)
+        s = build(g, k=2)
+        rng = random.Random(7)
+        vertices = sorted(g.vertices())
+        for _ in range(150):
+            u, v = rng.sample(vertices, 2)
+            if rng.random() < 0.5:
+                if g.add_edge(u, v):
+                    s.insert_edge(u, v, g.sorted_neighbors)
+            elif g.has_edge(u, v):
+                g.remove_edge(u, v)
+                s.delete_edge(u, v, g.sorted_neighbors)
+        assert_no_false_positives(s, g)
+
+    def test_delete_restores_detection(self):
+        g = paper_example_graph()
+        s = build(g, k=2)
+        g.remove_edge(5, 3)
+        s.delete_edge(5, 3, g.sorted_neighbors)
+        assert s.is_nonedge(5, 3)

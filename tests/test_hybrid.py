@@ -1,0 +1,295 @@
+"""Tests for the hybrid VEND solution — encoding, NDF, NT-size, maintenance."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.hybrid import HybridVend, IdCapacityError
+from repro.graph import Graph, erdos_renyi_graph, powerlaw_graph
+
+from .conftest import all_pairs, assert_no_false_positives, paper_example_graph
+
+
+def build_hybrid(graph, k=2, **kwargs):
+    solution = HybridVend(k=k, **kwargs)
+    solution.build(graph)
+    return solution
+
+
+class TestLayout:
+    def test_layout_fields(self):
+        g = erdos_renyi_graph(100, 400, seed=0)
+        s = build_hybrid(g, k=2)
+        assert s.id_bits == 7  # 100 < 128
+        assert s.k_star >= 1
+        # Core codes must leave at least one hash bit at max block size.
+        assert s._slot_bits(s.k_star) >= 1
+
+    def test_id_bits_override(self):
+        g = erdos_renyi_graph(50, 200, seed=0)
+        s = build_hybrid(g, k=2, id_bits=16)
+        assert s.id_bits == 16
+
+    def test_id_bits_too_small(self):
+        g = erdos_renyi_graph(300, 900, seed=0)
+        with pytest.raises(ValueError):
+            build_hybrid(g, k=2, id_bits=4)
+
+    def test_id_bits_above_int_bits(self):
+        g = erdos_renyi_graph(10, 20, seed=0)
+        with pytest.raises(ValueError):
+            build_hybrid(g, k=1, id_bits=64)
+
+    def test_k_too_small_for_ids(self):
+        g = Graph([(1, 2)])
+        with pytest.raises(ValueError):
+            HybridVend(k=1, int_bits=8, id_bits=8).build(g)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            HybridVend(k=0)
+
+    def test_memory_is_k_times_i_per_vertex(self):
+        g = erdos_renyi_graph(64, 256, seed=1)
+        s = build_hybrid(g, k=4)
+        assert s.memory_bytes() == 64 * 4 * 32 // 8
+
+
+class TestEncodingRoundtrip:
+    def test_decodable_roundtrip(self):
+        g = paper_example_graph()
+        s = build_hybrid(g, k=2)
+        # Vertices 5 and 8 peel early and must be decodable.
+        assert s.is_decodable(5)
+        assert s.decoded_ids(5) == [3]
+        assert s.is_decodable(8)
+        assert s.decoded_ids(8) == [3, 7]
+
+    def test_decoded_ids_requires_decodable(self):
+        g = powerlaw_graph(200, avg_degree=12, seed=2)
+        s = build_hybrid(g, k=2, id_bits=8)
+        core = [v for v in g.vertices() if not s.is_decodable(v)]
+        assert core, "expected a non-empty core at this density"
+        with pytest.raises(ValueError):
+            s.decoded_ids(core[0])
+
+    def test_every_vertex_has_a_code(self):
+        g = powerlaw_graph(150, avg_degree=6, seed=3)
+        s = build_hybrid(g, k=2)
+        assert s.num_codes == g.num_vertices
+
+
+class TestSoundnessAndScore:
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_no_false_positives_powerlaw(self, k):
+        g = powerlaw_graph(200, avg_degree=8, seed=4)
+        s = build_hybrid(g, k=k)
+        detected = assert_no_false_positives(s, g)
+        assert detected > 0
+
+    def test_no_false_positives_dense_er(self):
+        g = erdos_renyi_graph(80, 1200, seed=5)
+        s = build_hybrid(g, k=2)
+        assert_no_false_positives(s, g)
+
+    def test_detects_most_nepairs_when_sparse(self):
+        g = powerlaw_graph(300, avg_degree=6, seed=6)
+        s = build_hybrid(g, k=4)
+        nepairs = sum(
+            1 for u, v in all_pairs(g) if not g.has_edge(u, v)
+        )
+        detected = sum(
+            1 for u, v in all_pairs(g)
+            if not g.has_edge(u, v) and s.is_nonedge(u, v)
+        )
+        assert detected / nepairs > 0.8
+
+    def test_self_pair_is_never_nonedge(self):
+        g = paper_example_graph()
+        s = build_hybrid(g, k=2)
+        assert not s.is_nonedge(3, 3)
+
+    def test_unknown_vertex_returns_false(self):
+        g = paper_example_graph()
+        s = build_hybrid(g, k=2)
+        assert not s.is_nonedge(1, 999)
+
+    def test_larger_k_never_hurts_much(self):
+        """Score should broadly increase with k (paper Table I trend)."""
+        g = powerlaw_graph(250, avg_degree=10, seed=7)
+        scores = []
+        for k in (2, 4, 8):
+            s = build_hybrid(g, k=k)
+            pairs = [(u, v) for u, v in all_pairs(g) if not g.has_edge(u, v)]
+            detected = sum(1 for u, v in pairs if s.is_nonedge(u, v))
+            scores.append(detected / len(pairs))
+        assert scores[-1] >= scores[0]
+
+
+class TestNTSize:
+    def test_nt_size_matches_brute_force(self):
+        g = powerlaw_graph(120, avg_degree=8, seed=8)
+        s = build_hybrid(g, k=2)
+        max_id = g.max_vertex_id
+        for v in list(g.vertices())[:40]:
+            code = s.code_of(v)
+            brute = sum(
+                1 for w in range(1, max_id + 1) if s.ne_test(w, code)
+            )
+            assert s.nt_size(code) == brute, f"NT mismatch at vertex {v}"
+
+    def test_nt_size_decodable(self):
+        g = paper_example_graph()
+        s = build_hybrid(g, k=2)
+        code = s.code_of(8)  # decodable, 2 ids
+        assert s.nt_size(code) == g.max_vertex_id - 2
+
+
+class TestMaintenanceInsert:
+    def test_insert_known_edge_is_noop(self):
+        g = paper_example_graph()
+        s = build_hybrid(g, k=2)
+        fetch = g.sorted_neighbors
+        before = {v: s.code_of(v).value for v in g.vertices()}
+        # (3, 5) already fails the NDF (it is an edge), so nothing changes.
+        s.insert_edge(3, 5, fetch)
+        after = {v: s.code_of(v).value for v in g.vertices()}
+        assert before == after
+        assert s.stats.inserts_noop == 1
+
+    def test_insert_into_unfilled_decodable(self):
+        g = paper_example_graph()
+        s = build_hybrid(g, k=2)
+        assert s.is_nonedge(5, 8)
+        g.add_edge(5, 8)
+        s.insert_edge(5, 8, g.sorted_neighbors)
+        assert not s.is_nonedge(5, 8)
+        assert s.stats.inserts_fast == 1
+
+    def test_insert_new_vertex_edge(self):
+        g = paper_example_graph()
+        s = build_hybrid(g, k=2)
+        g.add_vertex(9)
+        g.add_edge(9, 1)
+        s.insert_edge(9, 1, g.sorted_neighbors)
+        assert not s.is_nonedge(9, 1)
+
+    def test_vertex_id_capacity(self):
+        g = paper_example_graph()  # max id 8 -> I' = 4
+        s = build_hybrid(g, k=2)
+        with pytest.raises(IdCapacityError):
+            s.insert_vertex(1 << 30)
+
+    def test_insert_sequence_stays_sound(self):
+        g = erdos_renyi_graph(60, 300, seed=10)
+        s = build_hybrid(g, k=2)
+        rng = random.Random(0)
+        vertices = sorted(g.vertices())
+        for _ in range(120):
+            u, v = rng.sample(vertices, 2)
+            if g.add_edge(u, v):
+                s.insert_edge(u, v, g.sorted_neighbors)
+        assert_no_false_positives(s, g)
+
+
+class TestMaintenanceDelete:
+    def test_delete_restores_detection_for_decodable(self):
+        g = paper_example_graph()
+        s = build_hybrid(g, k=2)
+        g.remove_edge(5, 3)
+        s.delete_edge(5, 3, g.sorted_neighbors)
+        assert s.is_nonedge(5, 3)
+
+    def test_delete_sequence_stays_sound(self):
+        g = erdos_renyi_graph(60, 400, seed=11)
+        s = build_hybrid(g, k=2)
+        rng = random.Random(1)
+        edges = list(g.edges())
+        rng.shuffle(edges)
+        for u, v in edges[:150]:
+            g.remove_edge(u, v)
+            s.delete_edge(u, v, g.sorted_neighbors)
+        assert_no_false_positives(s, g)
+
+    def test_delete_vertex(self):
+        g = paper_example_graph()
+        s = build_hybrid(g, k=2)
+        neighbors = list(g.sorted_neighbors(3))
+        fetch = g.sorted_neighbors
+        s.delete_vertex(3, fetch)
+        g.remove_vertex(3)
+        assert_no_false_positives(s, g)
+        # 3 is gone from the index entirely.
+        assert not s.is_nonedge(3, 1)
+        assert neighbors  # sanity: it had neighbors to scrub
+
+    def test_delete_missing_vertex_is_noop(self):
+        g = paper_example_graph()
+        s = build_hybrid(g, k=2)
+        s.delete_vertex(999, g.sorted_neighbors)
+
+
+class TestMixedWorkload:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_churn_soundness(self, seed):
+        """Interleaved inserts/deletes never create a false positive."""
+        g = erdos_renyi_graph(50, 250, seed=seed)
+        s = build_hybrid(g, k=2)
+        rng = random.Random(seed)
+        vertices = sorted(g.vertices())
+        for step in range(200):
+            u, v = rng.sample(vertices, 2)
+            if rng.random() < 0.5:
+                if g.add_edge(u, v):
+                    s.insert_edge(u, v, g.sorted_neighbors)
+            else:
+                if g.has_edge(u, v):
+                    # Remove from the index first: the fetch during
+                    # reconstruction must not see the deleted edge.
+                    g.remove_edge(u, v)
+                    s.delete_edge(u, v, g.sorted_neighbors)
+        assert_no_false_positives(s, g)
+
+    def test_alpha_demotion_tracked(self):
+        """Filling decodable codes eventually forces α demotions."""
+        g = erdos_renyi_graph(40, 80, seed=3)
+        s = build_hybrid(g, k=1, id_bits=8)
+        rng = random.Random(3)
+        vertices = sorted(g.vertices())
+        for _ in range(400):
+            u, v = rng.sample(vertices, 2)
+            if g.add_edge(u, v):
+                s.insert_edge(u, v, g.sorted_neighbors)
+        assert s.stats.inserts_rebuild > 0
+        assert_no_false_positives(s, g)
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(0, 10_000),
+    k=st.sampled_from([1, 2, 4]),
+    ops=st.lists(st.tuples(st.booleans(), st.integers(0, 10**6)),
+                 max_size=40),
+)
+def test_hybrid_maintenance_property(seed, k, ops):
+    """Arbitrary update sequences keep the NDF sound (no false positives)."""
+    g = erdos_renyi_graph(30, 100, seed=seed)
+    s = HybridVend(k=k)
+    s.build(g)
+    rng = random.Random(seed)
+    vertices = sorted(g.vertices())
+    for is_insert, op_seed in ops:
+        op_rng = random.Random(op_seed)
+        u, v = op_rng.sample(vertices, 2)
+        if is_insert:
+            if g.add_edge(u, v):
+                s.insert_edge(u, v, g.sorted_neighbors)
+        elif g.has_edge(u, v):
+            g.remove_edge(u, v)
+            s.delete_edge(u, v, g.sorted_neighbors)
+    for u, v in all_pairs(g):
+        if g.has_edge(u, v):
+            assert not s.is_nonedge(u, v)

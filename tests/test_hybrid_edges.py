@@ -1,0 +1,145 @@
+"""Edge-case tests for the hybrid family's less-traveled paths."""
+
+import pytest
+
+from repro.core import HybPlusVend, HybridVend
+from repro.graph import Graph, erdos_renyi_graph
+
+from .conftest import assert_no_false_positives, paper_example_graph
+
+
+class TestCodeWidths:
+    @pytest.mark.parametrize("int_bits", [16, 32, 64])
+    def test_all_int_widths_sound(self, int_bits):
+        g = erdos_renyi_graph(60, 300, seed=140)
+        s = HybridVend(k=4, int_bits=int_bits)
+        s.build(g)
+        assert s.total_bits == 4 * int_bits
+        assert_no_false_positives(s, g)
+
+    def test_invalid_int_bits(self):
+        with pytest.raises(ValueError):
+            HybridVend(k=2, int_bits=12)
+
+
+class TestDegenerateGraphs:
+    def test_single_edge_graph(self):
+        g = Graph([(1, 2)])
+        s = HybridVend(k=2)
+        s.build(g)
+        assert not s.is_nonedge(1, 2)
+
+    def test_isolated_vertices(self):
+        g = Graph([(1, 2)])
+        g.add_vertex(3)
+        g.add_vertex(4)
+        s = HybridVend(k=2)
+        s.build(g)
+        assert s.is_nonedge(3, 4)
+        assert s.is_nonedge(3, 1)
+
+    def test_star_graph(self):
+        g = Graph([(1, v) for v in range(2, 40)])
+        s = HybridVend(k=2)
+        s.build(g)
+        assert_no_false_positives(s, g)
+        # All leaves are pairwise NEpairs, fully peeled -> all detected.
+        assert s.is_nonedge(2, 3)
+
+    def test_clique(self):
+        g = Graph([
+            (u, v) for u in range(1, 12) for v in range(u + 1, 12)
+        ])
+        s = HybridVend(k=2)
+        s.build(g)
+        assert_no_false_positives(s, g)
+
+
+class TestMaintenanceEdgeCases:
+    def test_delete_last_edge_leaves_empty_code(self):
+        g = Graph([(1, 2), (1, 3), (2, 3)])
+        s = HybridVend(k=2)
+        s.build(g)
+        g.remove_edge(1, 2)
+        s.delete_edge(1, 2, g.sorted_neighbors)
+        g.remove_edge(1, 3)
+        s.delete_edge(1, 3, g.sorted_neighbors)
+        # Vertex 1 now has no edges; all its pairs must be detectable.
+        assert s.is_nonedge(1, 2)
+        assert s.is_nonedge(1, 3)
+
+    def test_insert_between_two_new_vertices(self):
+        g = paper_example_graph()
+        s = HybridVend(k=2)
+        s.build(g)
+        g.add_vertex(9)
+        g.add_vertex(10)
+        g.add_edge(9, 10)
+        s.insert_edge(9, 10, g.sorted_neighbors)
+        assert not s.is_nonedge(9, 10)
+        assert s.is_nonedge(9, 1)
+
+    def test_reinsert_after_delete_roundtrip(self):
+        g = paper_example_graph()
+        s = HybridVend(k=2)
+        s.build(g)
+        fetch = g.sorted_neighbors
+        g.remove_edge(5, 3)
+        s.delete_edge(5, 3, fetch)
+        assert s.is_nonedge(5, 3)
+        g.add_edge(5, 3)
+        s.insert_edge(5, 3, fetch)
+        assert not s.is_nonedge(5, 3)
+
+    def test_delete_nonexistent_edge_is_safe(self):
+        g = paper_example_graph()
+        s = HybridVend(k=2)
+        s.build(g)
+        s.delete_edge(1, 7, g.sorted_neighbors)  # (1,7) was never an edge
+        assert_no_false_positives(s, g)
+
+
+class TestHybPlusRetry:
+    def test_optimistic_estimate_triggers_retry(self):
+        """An over-optimistic size estimate makes _try_encode overflow;
+        the encoder must shrink the block cap and still emit a sound,
+        parseable code."""
+
+        class Overconfident(HybPlusVend):
+            def _estimated_slot_bits(self, block_size):
+                # Pretend every block leaves plenty of slot room.
+                return max(1, self.total_bits - self._core_header - 8)
+
+        g = erdos_renyi_graph(60, 400, seed=141)
+        s = Overconfident(k=2, id_bits=16)
+        s.build(g)
+        assert_no_false_positives(s, g)
+        for v in g.vertices():
+            if not s.is_decodable(v):
+                *_rest, m = s._parse_core(s.code_of(v))
+                assert m >= 1
+
+    def test_core_layout_roundtrip(self):
+        """core_layout must recover exactly the encoded neighbor block."""
+        g = erdos_renyi_graph(80, 700, seed=142)
+        for cls in (HybridVend, HybPlusVend):
+            s = cls(k=4, id_bits=10)
+            s.build(g)
+            for v in list(g.vertices())[:30]:
+                if s.is_decodable(v):
+                    continue
+                code = s.code_of(v)
+                _kind, members, _off, m = s.core_layout(code)
+                neighbors = set(g.sorted_neighbors(v))
+                assert set(members) <= neighbors
+                assert m >= 1
+                # Every member must fail the NE-test (it is recorded).
+                for member in members:
+                    assert not s.ne_test(member, code)
+
+    def test_core_layout_rejects_decodable(self):
+        g = paper_example_graph()
+        s = HybridVend(k=2)
+        s.build(g)
+        with pytest.raises(ValueError):
+            s.core_layout(s.code_of(5))

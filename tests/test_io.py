@@ -1,0 +1,60 @@
+"""Tests for edge-list I/O."""
+
+import pytest
+
+from repro.graph import DiGraph, Graph, read_edge_list, write_edge_list
+
+
+class TestRoundtrip:
+    def test_undirected_roundtrip(self, tmp_path):
+        g = Graph([(1, 2), (2, 3), (5, 9)])
+        path = tmp_path / "g.txt"
+        lines = write_edge_list(g, path)
+        assert lines == 3
+        back = read_edge_list(path)
+        assert sorted(back.edges()) == sorted(g.edges())
+
+    def test_directed_roundtrip(self, tmp_path):
+        g = DiGraph([(1, 2), (2, 1), (3, 1)])
+        path = tmp_path / "d.txt"
+        write_edge_list(g, path)
+        back = read_edge_list(path, directed=True)
+        assert sorted(back.edges()) == sorted(g.edges())
+
+    def test_header_comment_written(self, tmp_path):
+        g = Graph([(1, 2)])
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        assert path.read_text().startswith("# |V|=2 |E|=1")
+
+
+class TestParsing:
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "in.txt"
+        path.write_text("# comment\n% also comment\n\n1 2\n2 3\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_self_loops_dropped(self, tmp_path):
+        path = tmp_path / "in.txt"
+        path.write_text("1 1\n1 2\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 1
+
+    def test_extra_columns_tolerated(self, tmp_path):
+        path = tmp_path / "in.txt"
+        path.write_text("1 2 0.5\n")
+        g = read_edge_list(path)
+        assert g.has_edge(1, 2)
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "in.txt"
+        path.write_text("1 2\njust-one-token\n")
+        with pytest.raises(ValueError, match="expected"):
+            read_edge_list(path)
+
+    def test_duplicate_edges_collapse(self, tmp_path):
+        path = tmp_path / "in.txt"
+        path.write_text("1 2\n2 1\n1 2\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 1

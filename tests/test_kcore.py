@@ -1,0 +1,132 @@
+"""Tests for peeling and k-core decomposition."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import Graph, core_numbers, erdos_renyi_graph, peel, powerlaw_graph
+
+from .conftest import paper_example_graph
+
+
+class TestPeel:
+    def test_fig2_peeling(self):
+        """Peeling Fig. 2 at k=3 removes {5, 8} and keeps the red core."""
+        g = paper_example_graph()
+        result = peel(g, 3)
+        assert result.core_vertices == {1, 2, 3, 4, 6, 7}
+        assert set(result.round_of) == {5, 8}
+        assert result.residual_neighbors[5] == [3]
+        assert result.residual_neighbors[8] == [3, 7]
+
+    def test_fig2_core_adjacency(self):
+        g = paper_example_graph()
+        result = peel(g, 3)
+        assert result.core_adjacency[1] == [2, 3, 4, 6]
+        assert result.core_adjacency[6] == [1, 2, 4, 7]
+        assert result.core_edge_count() == 12
+
+    def test_round_semantics_chain(self):
+        """A path peels from both ends inward, one layer per round."""
+        g = Graph([(1, 2), (2, 3), (3, 4), (4, 5)])
+        result = peel(g, 2)
+        assert result.round_of[1] == 1
+        assert result.round_of[5] == 1
+        assert result.round_of[2] == 2
+        assert result.round_of[4] == 2
+        assert result.round_of[3] == 3
+        assert result.core_vertices == set()
+
+    def test_same_round_vertices_record_each_other(self):
+        """Two adjacent degree-1 vertices both record the shared edge."""
+        g = Graph([(1, 2)])
+        result = peel(g, 2)
+        assert result.round_of[1] == result.round_of[2] == 1
+        assert result.residual_neighbors[1] == [2]
+        assert result.residual_neighbors[2] == [1]
+
+    def test_threshold_one_peels_isolated_only(self):
+        g = Graph([(1, 2)])
+        g.add_vertex(3)
+        result = peel(g, 1)
+        assert set(result.round_of) == {3}
+        assert result.core_vertices == {1, 2}
+
+    def test_input_graph_unmodified(self):
+        g = Graph([(1, 2), (2, 3)])
+        edges_before = sorted(g.edges())
+        peel(g, 2)
+        assert sorted(g.edges()) == edges_before
+
+    def test_invalid_threshold(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            peel(Graph(), 0)
+
+    def test_core_degrees_at_least_threshold(self):
+        g = powerlaw_graph(500, avg_degree=8, seed=11)
+        result = peel(g, 4)
+        for v in result.core_vertices:
+            assert len(result.core_adjacency[v]) >= 4
+
+    def test_residual_union_covers_all_edges(self):
+        """Every original edge appears in some residual list or the core."""
+        g = erdos_renyi_graph(80, 240, seed=9)
+        result = peel(g, 4)
+        recorded = set()
+        for v, nbrs in result.residual_neighbors.items():
+            for u in nbrs:
+                recorded.add(frozenset((u, v)))
+        for v, nbrs in result.core_adjacency.items():
+            for u in nbrs:
+                recorded.add(frozenset((u, v)))
+        assert recorded == {frozenset(e) for e in g.edges()}
+
+
+class TestCoreNumbers:
+    def test_clique_core_numbers(self):
+        g = Graph([(u, v) for u in range(1, 6) for v in range(u + 1, 6)])
+        assert set(core_numbers(g).values()) == {4}
+
+    def test_path_core_numbers(self):
+        g = Graph([(1, 2), (2, 3), (3, 4)])
+        assert set(core_numbers(g).values()) == {1}
+
+    def test_empty(self):
+        assert core_numbers(Graph()) == {}
+
+    def test_peel_matches_core_numbers(self):
+        """peel(g, k) keeps exactly the vertices of core number >= k."""
+        g = powerlaw_graph(400, avg_degree=10, seed=5)
+        cores = core_numbers(g)
+        for k in (2, 3, 5):
+            result = peel(g, k)
+            expected = {v for v, c in cores.items() if c >= k}
+            assert result.core_vertices == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(1, 25), st.integers(1, 25)).filter(
+            lambda e: e[0] != e[1]
+        ),
+        max_size=80,
+    ),
+    st.integers(1, 6),
+)
+def test_peel_partition_property(edges, threshold):
+    """Peeled + core vertices partition V; core degrees >= threshold."""
+    g = Graph(edges)
+    result = peel(g, threshold)
+    peeled = set(result.round_of)
+    assert peeled | result.core_vertices == set(g.vertices())
+    assert peeled & result.core_vertices == set()
+    for v in result.core_vertices:
+        assert len(result.core_adjacency[v]) >= threshold
+    # Residual lists only reference vertices alive at removal time:
+    # same round or later, or core vertices.
+    for v, nbrs in result.residual_neighbors.items():
+        for u in nbrs:
+            if u in result.round_of:
+                assert result.round_of[u] >= result.round_of[v]

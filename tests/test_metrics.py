@@ -1,0 +1,62 @@
+"""Tests for degree-distribution metrics."""
+
+import math
+
+import pytest
+
+from repro.datasets import DATASETS, dataset_names, load
+from repro.graph import (
+    Graph,
+    banded_regular_graph,
+    degree_percentile,
+    is_power_law,
+    powerlaw_exponent,
+    powerlaw_graph,
+)
+
+
+class TestExponent:
+    def test_powerlaw_graph_exponent_in_range(self):
+        g = powerlaw_graph(3000, avg_degree=10, seed=90)
+        alpha = powerlaw_exponent(g)
+        assert 1.2 < alpha < 4.0
+
+    def test_regular_graph_tail_exponent_large(self):
+        g = banded_regular_graph(1000, degree=20, seed=91)
+        # Above the median, a near-regular degree distribution has
+        # almost no spread, so the tail exponent blows up.
+        from repro.graph import degree_percentile
+
+        cutoff = degree_percentile(g, 0.5)
+        assert powerlaw_exponent(g, d_min=cutoff) > 4.0
+
+    def test_empty_tail(self):
+        g = Graph([(1, 2)])
+        assert powerlaw_exponent(g, d_min=5) == math.inf
+
+    def test_invalid_dmin(self):
+        with pytest.raises(ValueError):
+            powerlaw_exponent(Graph(), d_min=0)
+
+
+class TestPercentile:
+    def test_median_of_star(self):
+        g = Graph([(1, v) for v in range(2, 12)])
+        assert degree_percentile(g, 0.5) == 1
+        assert degree_percentile(g, 1.0) == 10
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            degree_percentile(Graph(), 1.5)
+        assert degree_percentile(Graph(), 0.5) == 0
+
+
+class TestIsPowerLaw:
+    def test_detects_all_dataset_analogues(self):
+        """The data-driven label matches Table I for every analogue."""
+        for name in dataset_names():
+            g = load(name, scale=0.3)
+            assert is_power_law(g) == DATASETS[name].power_law, name
+
+    def test_tiny_graph_not_power_law(self):
+        assert not is_power_law(Graph([(1, 2)]))

@@ -1,0 +1,98 @@
+"""Tests for index save/load."""
+
+import pytest
+
+from repro.core import (
+    HybPlusVend,
+    HybridVend,
+    IndexFormatError,
+    RangeVend,
+    load_index,
+    save_index,
+)
+from repro.graph import powerlaw_graph
+
+from .conftest import all_pairs
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_graph(150, avg_degree=8, seed=30)
+
+
+@pytest.mark.parametrize("cls", [HybridVend, HybPlusVend])
+def test_roundtrip_answers_identically(tmp_path, graph, cls):
+    original = cls(k=4)
+    original.build(graph)
+    path = tmp_path / "index.vend"
+    written = save_index(original, path)
+    assert written == path.stat().st_size
+    restored = load_index(path)
+    assert type(restored) is cls
+    assert restored.k == original.k
+    assert restored.id_bits == original.id_bits
+    assert restored.num_codes == original.num_codes
+    for u, v in all_pairs(graph):
+        assert restored.is_nonedge(u, v) == original.is_nonedge(u, v)
+
+
+def test_restored_index_supports_maintenance(tmp_path, graph):
+    original = HybridVend(k=4)
+    original.build(graph)
+    path = tmp_path / "index.vend"
+    save_index(original, path)
+    restored = load_index(path)
+    work = graph.copy()
+    pair = next(
+        (u, v) for u, v in all_pairs(work)
+        if not work.has_edge(u, v) and restored.is_nonedge(u, v)
+    )
+    work.add_edge(*pair)
+    restored.insert_edge(*pair, work.sorted_neighbors)
+    assert not restored.is_nonedge(*pair)
+
+
+def test_unbuilt_index_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        save_index(HybridVend(k=4), tmp_path / "x.vend")
+
+
+def test_wrong_type_rejected(tmp_path, graph):
+    solution = RangeVend(k=4)
+    solution.build(graph)
+    with pytest.raises(TypeError):
+        save_index(solution, tmp_path / "x.vend")
+
+
+def test_bad_magic(tmp_path):
+    path = tmp_path / "junk.vend"
+    path.write_bytes(b"NOTANIDX" + b"\0" * 64)
+    with pytest.raises(IndexFormatError, match="magic"):
+        load_index(path)
+
+
+def test_truncated_header(tmp_path):
+    path = tmp_path / "tiny.vend"
+    path.write_bytes(b"REPROVND")
+    with pytest.raises(IndexFormatError, match="truncated"):
+        load_index(path)
+
+
+def test_truncated_body(tmp_path, graph):
+    original = HybridVend(k=2)
+    original.build(graph)
+    path = tmp_path / "cut.vend"
+    save_index(original, path)
+    data = path.read_bytes()
+    path.write_bytes(data[:-5])
+    with pytest.raises(IndexFormatError, match="expected"):
+        load_index(path)
+
+
+def test_scalar_preserved_for_hybplus(tmp_path, graph):
+    original = HybPlusVend(k=4, scalar=8)
+    original.build(graph)
+    path = tmp_path / "s8.vend"
+    save_index(original, path)
+    restored = load_index(path)
+    assert restored.scalar == 8

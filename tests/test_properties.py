@@ -1,0 +1,72 @@
+"""Cross-solution property tests: invariants every method must share."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import SOLUTION_FACTORIES, make_solution
+from repro.core import exact_vend_score
+from repro.graph import erdos_renyi_graph, powerlaw_graph
+
+ALL_METHODS = sorted(SOLUTION_FACTORIES)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_graph(150, avg_degree=8, seed=150)
+
+
+class TestSharedInvariants:
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_determination_is_symmetric(self, graph, method):
+        solution = make_solution(method, 2, graph)
+        vertices = sorted(graph.vertices())[:40]
+        for i, u in enumerate(vertices):
+            for v in vertices[i + 1:]:
+                assert solution.is_nonedge(u, v) == solution.is_nonedge(v, u)
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_self_pair_never_claimed(self, graph, method):
+        solution = make_solution(method, 2, graph)
+        for v in list(graph.vertices())[:20]:
+            assert not solution.is_nonedge(v, v)
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_exact_score_report_is_clean(self, graph, method):
+        solution = make_solution(method, 2, graph)
+        report = exact_vend_score(solution, graph)
+        assert report.false_positives == 0
+        assert 0.0 <= report.score <= 1.0
+
+    @pytest.mark.parametrize("method", ["hybrid", "hyb+", "range",
+                                        "bit-hash", "SBF", "LBF"])
+    def test_memory_grows_with_k(self, graph, method):
+        small = make_solution(method, 2, graph).memory_bytes()
+        large = make_solution(method, 8, graph).memory_bytes()
+        assert large >= small
+
+
+class TestScoreMonotonicity:
+    @pytest.mark.parametrize("method", ["hybrid", "hyb+"])
+    def test_score_grows_with_k(self, method):
+        """More dimensions never hurt much (Fig. 7/8 trend)."""
+        g = powerlaw_graph(200, avg_degree=12, seed=151)
+        scores = []
+        for k in (2, 4, 8):
+            solution = make_solution(method, k, g)
+            scores.append(exact_vend_score(solution, g).score)
+        assert scores[2] >= scores[0] - 0.01
+        assert scores[1] >= scores[0] - 0.02
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    method=st.sampled_from(["hybrid", "hyb+", "range", "bit-hash", "LBF"]),
+)
+def test_soundness_random_graphs_property(seed, method):
+    """No method ever claims an existing edge is an NEpair."""
+    g = erdos_renyi_graph(30, 120, seed=seed)
+    solution = make_solution(method, 2, g)
+    for u, v in g.edges():
+        assert not solution.is_nonedge(u, v), (method, u, v)

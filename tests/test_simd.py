@@ -1,0 +1,169 @@
+"""Tests for the SIMD register model and the Stream VByte codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simd import (
+    GROUP_SIZE,
+    SHUFFLE_ZERO,
+    data_length,
+    decode,
+    decode_group_scalar,
+    decode_group_simd,
+    encode,
+    encode_group,
+    lanes,
+    simd_any,
+    simd_compare_eq,
+    simd_compare_gt,
+    simd_compare_lt,
+    simd_count_lt,
+    simd_prefix_sum,
+    simd_shuffle_bytes,
+)
+
+
+class TestRegisterOps:
+    def test_lanes_padding(self):
+        reg = lanes([1, 2], width=4)
+        assert reg.tolist() == [1, 2, 0, 0]
+        assert reg.dtype == np.uint32
+
+    def test_lanes_overflow(self):
+        with pytest.raises(ValueError):
+            lanes([1, 2, 3], width=2)
+
+    def test_compare_eq(self):
+        reg = lanes([5, 7, 5, 9])
+        assert simd_compare_eq(reg, 5).tolist() == [True, False, True, False]
+
+    def test_compare_lt_gt(self):
+        reg = lanes([1, 5, 9, 5])
+        assert simd_compare_lt(reg, 5).tolist() == [True, False, False, False]
+        assert simd_compare_gt(reg, 5).tolist() == [False, False, True, False]
+
+    def test_any(self):
+        assert simd_any(np.array([False, True]))
+        assert not simd_any(np.array([False, False]))
+
+    def test_count_lt_active_lanes(self):
+        reg = lanes([10, 20, 0, 0])  # two padded lanes
+        assert simd_count_lt(reg, 15, active=2) == 1
+        assert simd_count_lt(reg, 15, active=4) == 3  # padding would lie
+        assert simd_count_lt(reg, 15, active=0) == 0
+
+    def test_shuffle_gather_and_zero(self):
+        data = np.arange(16, dtype=np.uint8)
+        mask = np.array([3, 1, SHUFFLE_ZERO, 0], dtype=np.uint8)
+        assert simd_shuffle_bytes(data, mask).tolist() == [3, 1, 0, 0]
+
+    def test_prefix_sum_reconstructs_deltas(self):
+        deltas = lanes([100, 5, 7, 3])
+        assert simd_prefix_sum(deltas).tolist() == [100, 105, 112, 115]
+
+    def test_prefix_sum_width_8(self):
+        reg = lanes([1] * 8)
+        assert simd_prefix_sum(reg).tolist() == list(range(1, 9))
+
+
+class TestStreamVByte:
+    def test_encode_group_lengths(self):
+        control, chunk = encode_group([1, 300, 70000, 2**31])
+        assert ((control >> 0) & 3) + 1 == 1
+        assert ((control >> 2) & 3) + 1 == 2
+        assert ((control >> 4) & 3) + 1 == 3
+        assert ((control >> 6) & 3) + 1 == 4
+        assert len(chunk) == 10
+        assert data_length(control) == 10
+
+    def test_zero_takes_one_byte(self):
+        control, chunk = encode_group([0])
+        assert len(chunk) == 1
+        assert decode_group_scalar(control, chunk, active=1) == [0]
+
+    def test_group_size_limits(self):
+        with pytest.raises(ValueError):
+            encode_group([])
+        with pytest.raises(ValueError):
+            encode_group([1, 2, 3, 4, 5])
+
+    def test_value_too_wide(self):
+        with pytest.raises(ValueError):
+            encode_group([2**32])
+        with pytest.raises(ValueError):
+            encode_group([-1])
+
+    def test_delta_requires_ascending(self):
+        with pytest.raises(ValueError):
+            encode_group([5, 3], delta=True)
+
+    def test_simd_matches_scalar(self):
+        values = [12, 260, 100000, 4000000000]
+        control, chunk = encode_group(values)
+        simd = decode_group_simd(control, chunk).tolist()
+        scalar = decode_group_scalar(control, chunk)
+        assert simd == scalar == values
+
+    def test_delta_roundtrip_group(self):
+        values = [20, 322, 410, 521]
+        control, chunk = encode_group(values, delta=True)
+        # Deltas are smaller, so the payload shrinks (paper Fig. 6 point).
+        raw_control, raw_chunk = encode_group(values)
+        assert len(chunk) <= len(raw_chunk)
+        assert decode_group_simd(control, chunk, delta=True).tolist()[:4] == values
+
+    def test_full_sequence_roundtrip(self):
+        values = [4, 5, 14, 16, 17, 20, 50, 81, 129, 201, 322, 410, 521]
+        for delta in (False, True):
+            for simd in (False, True):
+                controls, chunk = encode(values, delta=delta)
+                assert decode(controls, chunk, len(values),
+                              delta=delta, simd=simd) == values
+
+    def test_partial_last_group(self):
+        values = [7, 8, 9, 10, 11]  # 4 + 1
+        controls, chunk = encode(values)
+        assert len(controls) == 2
+        assert decode(controls, chunk, 5) == values
+
+    def test_empty_sequence(self):
+        controls, chunk = encode([])
+        assert controls == b"" and chunk == b""
+        assert decode(controls, chunk, 0) == []
+
+    def test_data_length_partial(self):
+        control, _ = encode_group([1, 300])
+        assert data_length(control, 1) == 1
+        assert data_length(control, 2) == 3
+        with pytest.raises(ValueError):
+            data_length(control, 5)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=25))
+def test_streamvbyte_roundtrip_property(values):
+    """encode → decode is the identity for any uint32 sequence."""
+    controls, chunk = encode(values)
+    assert decode(controls, chunk, len(values), simd=True) == values
+    assert decode(controls, chunk, len(values), simd=False) == values
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.integers(0, 2**31), min_size=1, max_size=25))
+def test_streamvbyte_delta_roundtrip_property(values):
+    """Delta coding round-trips for any ascending sequence."""
+    values = sorted(values)
+    controls, chunk = encode(values, delta=True)
+    assert decode(controls, chunk, len(values), delta=True, simd=True) == values
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=GROUP_SIZE))
+def test_group_simd_scalar_agree(values):
+    """The LUT/shuffle decoder always agrees with the scalar decoder."""
+    control, chunk = encode_group(values)
+    simd = decode_group_simd(control, chunk).tolist()[:len(values)]
+    scalar = decode_group_scalar(control, chunk, active=len(values))
+    assert simd == scalar == values

@@ -1,0 +1,115 @@
+"""Tests for the SIMD-oriented search tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sstree import SSTree
+
+#: The paper's running example (Fig. 4/5): block of vertex 2.
+FIG4_BLOCK = [4, 5, 14, 16, 17, 20, 50, 81, 129, 201, 322, 410, 521, 530]
+
+
+class TestConstruction:
+    def test_fig5_topology(self):
+        tree = SSTree(FIG4_BLOCK, scalar=4)
+        assert tree.num_nodes == 3  # |B⁻| = 12, s = 4
+        assert tree.head == 4 and tree.tail == 530
+
+    def test_fig5_node_keys(self):
+        """Root keys must be {20, 322, 410, 521} exactly as in Fig. 5(b)."""
+        tree = SSTree(FIG4_BLOCK, scalar=4)
+        assert tree.node_keys[0] == [20, 322, 410, 521]
+        assert tree.node_keys[1] == [5, 14, 16, 17]
+        assert tree.node_keys[2] == [50, 81, 129, 201]
+
+    def test_fig5_permutation(self):
+        """P_B from Fig. 5(c)."""
+        tree = SSTree(FIG4_BLOCK, scalar=4)
+        assert tree.permutation() == [
+            4, 530, 20, 322, 410, 521, 5, 14, 16, 17, 50, 81, 129, 201,
+        ]
+
+    def test_small_blocks(self):
+        assert SSTree([7], scalar=4).permutation() == [7]
+        assert SSTree([7, 9], scalar=4).permutation() == [7, 9]
+        assert SSTree([7, 8, 9], scalar=4).num_nodes == 1
+
+    def test_unsorted_block_rejected(self):
+        with pytest.raises(ValueError):
+            SSTree([3, 1, 2])
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            SSTree([1, 1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SSTree([])
+
+    def test_scalar_too_small(self):
+        with pytest.raises(ValueError):
+            SSTree([1, 2, 3], scalar=1)
+
+    def test_last_node_partial(self):
+        block = list(range(1, 12))  # interior = 9, s = 4 -> nodes 4,4,1
+        tree = SSTree(block, scalar=4)
+        assert tree.num_nodes == 3
+        assert [len(keys) for keys in tree.node_keys] == [4, 4, 1]
+
+    def test_depth(self):
+        tree = SSTree(FIG4_BLOCK, scalar=4)
+        assert tree.depth == 2
+        assert SSTree([1, 2], scalar=4).depth == 0
+
+
+class TestSearch:
+    def test_members_found(self):
+        tree = SSTree(FIG4_BLOCK, scalar=4)
+        for value in FIG4_BLOCK:
+            assert tree.contains(value), value
+
+    def test_non_members_rejected(self):
+        tree = SSTree(FIG4_BLOCK, scalar=4)
+        for value in (1, 6, 15, 19, 21, 200, 409, 522, 1000):
+            assert not tree.contains(value), value
+
+    @pytest.mark.parametrize("scalar", [2, 3, 4, 8, 16])
+    def test_search_all_scalars(self, scalar):
+        block = sorted({(i * 37) % 1000 + 1 for i in range(60)})
+        tree = SSTree(block, scalar=scalar)
+        members = set(block)
+        for value in range(1, 1001):
+            assert tree.contains(value) == (value in members)
+
+    def test_bst_property(self):
+        """In-order traversal of the tree yields the sorted interior."""
+        block = list(range(10, 110))
+        tree = SSTree(block, scalar=4)
+
+        def in_order(node_id):
+            if node_id is None or node_id > tree.num_nodes:
+                return []
+            keys = tree.node_keys[node_id - 1]
+            out = []
+            for i, key in enumerate(keys):
+                out.extend(in_order(tree.child_id(node_id, i + 1)))
+                out.append(key)
+            out.extend(in_order(tree.child_id(node_id, len(keys) + 1)))
+            return out
+
+        assert in_order(1) == block[1:-1]
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.sets(st.integers(1, 10**6), min_size=1, max_size=80),
+    st.sampled_from([2, 4, 8]),
+    st.integers(1, 10**6),
+)
+def test_sstree_membership_property(values, scalar, probe):
+    """Tree search agrees with set membership for arbitrary blocks."""
+    block = sorted(values)
+    tree = SSTree(block, scalar=scalar)
+    assert tree.contains(probe) == (probe in values)
+    assert sorted(tree.permutation()) == block

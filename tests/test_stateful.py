@@ -1,0 +1,89 @@
+"""Stateful property test: the hybrid index tracks an evolving graph.
+
+A hypothesis rule machine mutates a live graph through every
+maintenance operation (edge insert/delete, vertex insert/delete) in
+arbitrary interleavings and continuously checks the one-sided NDF
+contract: no pair with an edge is ever reported as an NEpair.
+"""
+
+import random
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core import HybridVend
+from repro.graph import erdos_renyi_graph
+
+
+class HybridMaintenanceMachine(RuleBasedStateMachine):
+    @initialize(seed=st.integers(0, 1000))
+    def setup(self, seed):
+        self.graph = erdos_renyi_graph(24, 60, seed=seed)
+        self.vend = HybridVend(k=2, id_bits=8)
+        self.vend.build(self.graph)
+        self.rng = random.Random(seed)
+        self.next_vertex = 25
+
+    def _fetch(self, v):
+        return self.graph.sorted_neighbors(v)
+
+    def _pick_pair(self, seed):
+        rng = random.Random(seed)
+        vertices = sorted(self.graph.vertices())
+        if len(vertices) < 2:
+            return None
+        return tuple(rng.sample(vertices, 2))
+
+    @rule(seed=st.integers(0, 10**6))
+    def insert_edge(self, seed):
+        pair = self._pick_pair(seed)
+        if pair and self.graph.add_edge(*pair):
+            self.vend.insert_edge(*pair, self._fetch)
+
+    @rule(seed=st.integers(0, 10**6))
+    def delete_edge(self, seed):
+        edges = sorted(self.graph.edges())
+        if not edges:
+            return
+        u, v = edges[seed % len(edges)]
+        self.graph.remove_edge(u, v)
+        self.vend.delete_edge(u, v, self._fetch)
+
+    @rule()
+    def insert_vertex(self):
+        v = self.next_vertex
+        if v.bit_length() > 8:
+            return
+        self.next_vertex += 1
+        self.graph.add_vertex(v)
+        self.vend.insert_vertex(v)
+
+    @rule(seed=st.integers(0, 10**6))
+    def delete_vertex(self, seed):
+        vertices = sorted(self.graph.vertices())
+        if len(vertices) <= 4:
+            return
+        v = vertices[seed % len(vertices)]
+        # Scrub the index first so reconstruction fetches still see v's
+        # edges; then drop the vertex from the graph.
+        self.vend.delete_vertex(v, self._fetch)
+        self.graph.remove_vertex(v)
+
+    @invariant()
+    def no_false_positives(self):
+        for u, v in self.graph.edges():
+            assert not self.vend.is_nonedge(u, v), (
+                f"edge ({u}, {v}) claimed as NEpair"
+            )
+
+
+HybridMaintenanceMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestHybridMaintenance = HybridMaintenanceMachine.TestCase

@@ -1,0 +1,247 @@
+"""Tests for the disk KV store, cache, and graph store."""
+
+import pytest
+
+from repro.graph import DiGraph, Graph, erdos_renyi_graph
+from repro.storage import DiskKVStore, GraphStore, InMemoryKVStore, LRUCache
+
+
+class TestLRUCache:
+    def test_basic_put_get(self):
+        cache = LRUCache(100)
+        cache.put("a", b"xyz")
+        assert cache.get("a") == b"xyz"
+        assert cache.get("b") is None
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_eviction_order(self):
+        cache = LRUCache(6)
+        cache.put("a", b"xx")
+        cache.put("b", b"xx")
+        cache.put("c", b"xx")
+        cache.get("a")  # refresh a
+        cache.put("d", b"xx")  # evicts b (LRU)
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+
+    def test_oversized_value_not_cached(self):
+        cache = LRUCache(4)
+        cache.put("a", b"toolong")
+        assert cache.get("a") is None
+        assert cache.size_bytes == 0
+
+    def test_overwrite_updates_size(self):
+        cache = LRUCache(10)
+        cache.put("a", b"1234")
+        cache.put("a", b"12")
+        assert cache.size_bytes == 2
+
+    def test_evict_and_clear(self):
+        cache = LRUCache(10)
+        cache.put("a", b"12")
+        cache.evict("a")
+        assert cache.get("a") is None
+        cache.put("b", b"12")
+        cache.clear()
+        assert len(cache) == 0 and cache.size_bytes == 0
+
+    def test_hit_rate(self):
+        cache = LRUCache(10)
+        assert cache.hit_rate() == 0.0
+        cache.put("a", b"1")
+        cache.get("a")
+        cache.get("b")
+        assert cache.hit_rate() == pytest.approx(0.5)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+
+class TestDiskKVStore:
+    def test_put_get_roundtrip(self, tmp_path):
+        with DiskKVStore(tmp_path / "db.log") as store:
+            store.put(1, b"hello")
+            store.put(2, b"world")
+            assert store.get(1) == b"hello"
+            assert store.get(2) == b"world"
+            assert store.get(99) is None
+            assert len(store) == 2
+            assert 1 in store and 99 not in store
+
+    def test_overwrite_returns_latest(self, tmp_path):
+        with DiskKVStore(tmp_path / "db.log") as store:
+            store.put(1, b"old")
+            store.put(1, b"new")
+            assert store.get(1) == b"new"
+            assert len(store) == 1
+
+    def test_delete(self, tmp_path):
+        with DiskKVStore(tmp_path / "db.log") as store:
+            store.put(1, b"x")
+            assert store.delete(1)
+            assert store.get(1) is None
+            assert not store.delete(1)
+
+    def test_recovery_replays_log(self, tmp_path):
+        path = tmp_path / "db.log"
+        with DiskKVStore(path) as store:
+            store.put(1, b"one")
+            store.put(2, b"two")
+            store.put(1, b"one-v2")
+            store.delete(2)
+        with DiskKVStore(path) as store:
+            assert store.get(1) == b"one-v2"
+            assert store.get(2) is None
+            assert len(store) == 1
+
+    def test_read_counters(self, tmp_path):
+        with DiskKVStore(tmp_path / "db.log") as store:
+            store.put(1, b"abcd")
+            store.get(1)
+            store.get(1)
+            assert store.stats.disk_reads == 2
+            assert store.stats.bytes_read == 8
+            assert store.stats.disk_writes == 1
+
+    def test_cache_absorbs_reads(self, tmp_path):
+        with DiskKVStore(tmp_path / "db.log", cache_bytes=1024) as store:
+            store.put(1, b"abcd")
+            store.get(1)  # served from cache (put populated it)
+            store.get(1)
+            assert store.stats.disk_reads == 0
+            assert store.stats.cache_hits == 2
+
+    def test_stats_reset_and_snapshot(self, tmp_path):
+        with DiskKVStore(tmp_path / "db.log") as store:
+            store.put(1, b"x")
+            snap = store.stats.snapshot()
+            assert snap["disk_writes"] == 1
+            store.stats.reset()
+            assert store.stats.disk_writes == 0
+
+
+class TestInMemoryKVStore:
+    def test_same_interface(self):
+        store = InMemoryKVStore()
+        store.put(1, b"v")
+        assert store.get(1) == b"v"
+        assert store.stats.disk_reads == 1
+        assert store.delete(1)
+        assert not store.delete(1)
+        assert store.get(1) is None
+
+
+class TestGraphStore:
+    def test_bulk_load_and_read(self, tmp_path):
+        g = Graph([(1, 2), (1, 3), (2, 3)])
+        with GraphStore(tmp_path / "g.log") as store:
+            store.bulk_load(g)
+            assert store.get_neighbors(1) == [2, 3]
+            assert store.num_vertices == 3
+            assert sorted(store.vertices()) == [1, 2, 3]
+
+    def test_in_memory_backend(self):
+        g = Graph([(1, 2)])
+        store = GraphStore()
+        store.bulk_load(g)
+        assert store.get_neighbors(2) == [1]
+
+    def test_has_edge_costs_one_read(self, tmp_path):
+        g = Graph([(1, 2), (1, 3)])
+        with GraphStore(tmp_path / "g.log") as store:
+            store.bulk_load(g)
+            store.stats.reset()
+            assert store.has_edge(1, 2)
+            assert not store.has_edge(1, 99)
+            assert store.stats.disk_reads == 2
+
+    def test_missing_vertex_raises(self):
+        store = GraphStore()
+        with pytest.raises(KeyError):
+            store.get_neighbors(42)
+
+    def test_insert_edge_updates_both_sides(self):
+        store = GraphStore()
+        store.bulk_load(Graph([(1, 2)]))
+        assert store.insert_edge(1, 3)
+        assert store.get_neighbors(1) == [2, 3]
+        assert store.get_neighbors(3) == [1]
+        assert not store.insert_edge(1, 3)
+
+    def test_insert_self_loop_rejected(self):
+        store = GraphStore()
+        with pytest.raises(ValueError):
+            store.insert_edge(1, 1)
+
+    def test_delete_edge(self):
+        store = GraphStore()
+        store.bulk_load(Graph([(1, 2), (1, 3)]))
+        assert store.delete_edge(1, 2)
+        assert store.get_neighbors(1) == [3]
+        assert store.get_neighbors(2) == []
+        assert not store.delete_edge(1, 2)
+
+    def test_delete_vertex(self):
+        store = GraphStore()
+        store.bulk_load(Graph([(1, 2), (1, 3), (2, 3)]))
+        assert store.delete_vertex(1)
+        assert not store.has_vertex(1)
+        assert store.get_neighbors(2) == [3]
+        assert not store.delete_vertex(1)
+
+    def test_directed_graph_stored_undirected(self):
+        g = DiGraph([(1, 2), (3, 1)])
+        store = GraphStore()
+        store.bulk_load(g)
+        assert store.get_neighbors(1) == [2, 3]
+
+    def test_roundtrip_large(self, tmp_path):
+        g = erdos_renyi_graph(200, 800, seed=4)
+        with GraphStore(tmp_path / "g.log") as store:
+            store.bulk_load(g)
+            for v in list(g.vertices())[:50]:
+                assert store.get_neighbors(v) == g.sorted_neighbors(v)
+
+
+class TestCompaction:
+    def test_compact_reclaims_space(self, tmp_path):
+        path = tmp_path / "db.log"
+        with DiskKVStore(path) as store:
+            for round_no in range(5):
+                for key in range(20):
+                    store.put(key, bytes([round_no]) * 50)
+            for key in range(10):
+                store.delete(key)
+            saved = store.compact()
+            assert saved > 0
+            # Live data survives compaction.
+            for key in range(10, 20):
+                assert store.get(key) == bytes([4]) * 50
+            for key in range(10):
+                assert store.get(key) is None
+
+    def test_compacted_store_recovers(self, tmp_path):
+        path = tmp_path / "db.log"
+        with DiskKVStore(path) as store:
+            store.put(1, b"a")
+            store.put(1, b"b")
+            store.put(2, b"c")
+            store.compact()
+            store.put(3, b"d")  # writes after compaction append normally
+        with DiskKVStore(path) as store:
+            assert store.get(1) == b"b"
+            assert store.get(2) == b"c"
+            assert store.get(3) == b"d"
+
+    def test_compact_empty_store(self, tmp_path):
+        with DiskKVStore(tmp_path / "e.log") as store:
+            assert store.compact() == 0
+
+    def test_compact_clears_cache(self, tmp_path):
+        with DiskKVStore(tmp_path / "c.log", cache_bytes=1024) as store:
+            store.put(1, b"x" * 10)
+            store.compact()
+            store.stats.reset()
+            assert store.get(1) == b"x" * 10
+            assert store.stats.disk_reads == 1  # cache was invalidated

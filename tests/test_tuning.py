@@ -1,0 +1,62 @@
+"""Tests for automatic k selection."""
+
+import pytest
+
+from repro.core import HybPlusVend, choose_k
+from repro.graph import powerlaw_graph
+from repro.workloads import common_neighbor_pairs, random_pairs
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_graph(300, avg_degree=10, seed=120)
+
+
+class TestChooseK:
+    def test_easy_target_picks_small_k(self, graph):
+        pairs = random_pairs(graph, 3000, seed=121)
+        result = choose_k(graph, 0.5, pairs)
+        assert result.target_met
+        assert result.chosen_k == 2
+        assert result.solution.k == 2
+        assert len(result.steps) == 1
+
+    def test_harder_target_climbs_ladder(self, graph):
+        pairs = common_neighbor_pairs(graph, 3000, seed=122)
+        easy = choose_k(graph, 0.3, pairs)
+        hard = choose_k(graph, 0.95, pairs)
+        assert hard.chosen_k >= easy.chosen_k
+        assert [s.k for s in hard.steps] == sorted(s.k for s in hard.steps)
+
+    def test_unreachable_target_returns_best(self):
+        # A dense graph at small k cannot reach a perfect score on
+        # local pairs: the ladder is exhausted, best step returned.
+        dense = powerlaw_graph(200, avg_degree=25, seed=127)
+        pairs = common_neighbor_pairs(dense, 4000, seed=123)
+        result = choose_k(dense, 1.0, pairs, candidates=(2, 4))
+        assert not result.target_met
+        assert result.chosen_k in (2, 4)
+        best = max(result.steps, key=lambda s: s.score)
+        assert result.chosen_k == best.k
+
+    def test_candidates_above_average_degree_skipped(self, graph):
+        pairs = random_pairs(graph, 1000, seed=124)
+        result = choose_k(graph, 1.0, pairs, candidates=(2, 64, 128))
+        assert all(step.k == 2 for step in result.steps)
+
+    def test_custom_solution_class(self, graph):
+        pairs = random_pairs(graph, 1000, seed=125)
+        result = choose_k(graph, 0.5, pairs, solution_cls=HybPlusVend)
+        assert isinstance(result.solution, HybPlusVend)
+
+    def test_validation(self, graph):
+        with pytest.raises(ValueError):
+            choose_k(graph, 1.5, [(1, 2)])
+        with pytest.raises(ValueError):
+            choose_k(graph, 0.5, [])
+
+    def test_memory_grows_with_k(self, graph):
+        pairs = common_neighbor_pairs(graph, 2000, seed=126)
+        result = choose_k(graph, 1.0, pairs, candidates=(2, 4, 8))
+        memories = [s.memory_bytes for s in result.steps]
+        assert memories == sorted(memories)

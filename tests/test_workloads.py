@@ -1,0 +1,105 @@
+"""Tests for pair/update workload generators and score evaluation."""
+
+import pytest
+
+from repro.core import HybridVend, exact_vend_score, vend_score
+from repro.graph import Graph, erdos_renyi_graph, powerlaw_graph
+from repro.workloads import (
+    common_neighbor_pairs,
+    mixed_pairs,
+    random_pairs,
+    sample_deletions,
+    sample_insertions,
+)
+
+
+class TestRandomPairs:
+    def test_count_and_distinct_vertices(self):
+        g = erdos_renyi_graph(50, 100, seed=1)
+        pairs = random_pairs(g, 500, seed=2)
+        assert len(pairs) == 500
+        assert all(u != v for u, v in pairs)
+        assert all(g.has_vertex(u) and g.has_vertex(v) for u, v in pairs)
+
+    def test_deterministic(self):
+        g = erdos_renyi_graph(50, 100, seed=1)
+        assert random_pairs(g, 50, seed=3) == random_pairs(g, 50, seed=3)
+
+    def test_tiny_graph_rejected(self):
+        g = Graph()
+        g.add_vertex(1)
+        with pytest.raises(ValueError):
+            random_pairs(g, 5)
+
+
+class TestCommonNeighborPairs:
+    def test_pairs_share_a_neighbor(self):
+        g = powerlaw_graph(200, avg_degree=8, seed=4)
+        pairs = common_neighbor_pairs(g, 300, seed=5)
+        assert len(pairs) == 300
+        for u, v in pairs:
+            assert u != v
+            assert g.neighbors(u) & g.neighbors(v), (u, v)
+
+    def test_requires_degree_two_vertex(self):
+        g = Graph([(1, 2)])
+        with pytest.raises(ValueError):
+            common_neighbor_pairs(g, 5)
+
+    def test_mixed_pairs_blend(self):
+        g = powerlaw_graph(100, avg_degree=8, seed=6)
+        pairs = mixed_pairs(g, 100, local_fraction=0.4, seed=7)
+        assert len(pairs) == 100
+        with pytest.raises(ValueError):
+            mixed_pairs(g, 10, local_fraction=1.5)
+
+
+class TestUpdates:
+    def test_deletions_are_existing_edges(self):
+        g = erdos_renyi_graph(40, 100, seed=8)
+        deletions = sample_deletions(g, 30, seed=9)
+        assert len(deletions) == 30
+        assert len(set(map(frozenset, deletions))) == 30
+        assert all(g.has_edge(u, v) for u, v in deletions)
+
+    def test_deletions_all_edges_when_count_exceeds(self):
+        g = erdos_renyi_graph(20, 30, seed=10)
+        assert len(sample_deletions(g, 1000)) == 30
+
+    def test_insertions_are_nonedges(self):
+        g = erdos_renyi_graph(40, 100, seed=11)
+        insertions = sample_insertions(g, 30, seed=12)
+        assert len(insertions) == 30
+        assert all(not g.has_edge(u, v) for u, v in insertions)
+        assert all(u < v for u, v in insertions)
+
+    def test_insertions_exhausted(self):
+        g = Graph([(1, 2)])
+        g.add_vertex(3)
+        with pytest.raises(ValueError):
+            sample_insertions(g, 100)
+
+
+class TestScore:
+    def test_exact_score_bounds(self):
+        g = powerlaw_graph(100, avg_degree=8, seed=13)
+        s = HybridVend(k=2)
+        s.build(g)
+        report = exact_vend_score(s, g)
+        assert 0.0 <= report.score <= 1.0
+        assert report.false_positives == 0
+        assert report.nepairs + (report.pairs_evaluated - report.nepairs) \
+            == report.pairs_evaluated
+
+    def test_sampled_score_skips_self_pairs(self):
+        g = erdos_renyi_graph(30, 60, seed=14)
+        s = HybridVend(k=2)
+        s.build(g)
+        report = vend_score(s, g, [(1, 1), (1, 2)])
+        assert report.pairs_evaluated == 1
+
+    def test_score_of_empty_sample(self):
+        g = erdos_renyi_graph(30, 60, seed=15)
+        s = HybridVend(k=2)
+        s.build(g)
+        assert vend_score(s, g, []).score == 1.0
