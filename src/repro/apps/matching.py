@@ -110,17 +110,21 @@ class SubgraphMatcher:
             anchor = binding[bound_neighbors[0]]
             candidates = self.store.get_neighbors(anchor)
         used = set(binding.values())
-        for candidate in candidates:
-            if candidate in used:
-                continue
-            # Verify every other pattern edge into the bound prefix.
-            ok = True
-            for u in bound_neighbors[1:] if depth else []:
-                if not self.engine.has_edge(binding[u], candidate):
-                    ok = False
+        survivors = [c for c in candidates if c not in used]
+        # Verify every other pattern edge into the bound prefix with one
+        # batched engine call per pattern edge; the surviving candidate
+        # list shrinks between passes, so this issues exactly the
+        # queries the scalar short-circuiting loop would.
+        if depth:
+            for u in bound_neighbors[1:]:
+                if not survivors:
                     break
-            if not ok:
-                continue
+                anchor = binding[u]
+                answers = self.engine.has_edge_batch(
+                    [anchor] * len(survivors), survivors
+                )
+                survivors = [c for c, ok in zip(survivors, answers) if ok]
+        for candidate in survivors:
             binding[pv] = candidate
             self._extend(pattern, order, depth + 1, binding, stats)
             del binding[pv]

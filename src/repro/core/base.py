@@ -15,6 +15,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Callable, Protocol
 
+import numpy as np
+
 from ..graph import Graph
 
 __all__ = [
@@ -25,7 +27,49 @@ __all__ = [
     "register_solution",
     "create_solution",
     "available_solutions",
+    "endpoint_arrays",
+    "nonedge_batch_mask",
 ]
+
+
+def endpoint_arrays(pairs_u, pairs_v=None) -> tuple[np.ndarray, np.ndarray]:
+    """Normalize a pair batch to two aligned ``int64`` endpoint arrays.
+
+    Accepts either two aligned endpoint sequences, or (when ``pairs_v``
+    is None) a single sequence of ``(u, v)`` tuples / an ``(n, 2)``
+    array.
+    """
+    if pairs_v is None:
+        pairs = np.asarray(pairs_u, dtype=np.int64)
+        if pairs.size == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty
+        if pairs.ndim != 2 or pairs.shape[1] != 2:
+            raise ValueError("pair batch must be a sequence of (u, v) pairs")
+        return pairs[:, 0], pairs[:, 1]
+    us = np.asarray(pairs_u, dtype=np.int64)
+    vs = np.asarray(pairs_v, dtype=np.int64)
+    if us.shape != vs.shape or us.ndim != 1:
+        raise ValueError("endpoint arrays must be aligned 1-D sequences")
+    return us, vs
+
+
+def nonedge_batch_mask(filt: "NonedgeFilter", pairs_u, pairs_v=None) -> np.ndarray:
+    """Batch-evaluate any :class:`NonedgeFilter` over a pair batch.
+
+    Uses the filter's vectorized ``is_nonedge_batch`` when it has one
+    (every :class:`VendSolution` does); otherwise falls back to the
+    scalar predicate so Bloom comparators keep working unchanged.
+    """
+    us, vs = endpoint_arrays(pairs_u, pairs_v)
+    batch = getattr(filt, "is_nonedge_batch", None)
+    if batch is not None:
+        return np.asarray(batch(us, vs), dtype=bool)
+    return np.fromiter(
+        (filt.is_nonedge(int(u), int(v))
+         for u, v in zip(us.tolist(), vs.tolist())),
+        dtype=bool, count=len(us),
+    )
 
 NeighborFetch = Callable[[int], list[int]]
 
@@ -74,6 +118,8 @@ class VendSolution(ABC):
             raise ValueError("int_bits must be one of 8, 16, 32, 64")
         self.k = k
         self.int_bits = int_bits
+        #: Cached vectorized snapshot; rebuilt lazily after invalidation.
+        self._batch_index: object | None = None
 
     @property
     def total_bits(self) -> int:
@@ -92,9 +138,24 @@ class VendSolution(ABC):
     def memory_bytes(self) -> int:
         """Bytes held by the in-memory encoding."""
 
-    def is_nonedge_batch(self, pairs: list[tuple[int, int]]) -> list[bool]:
-        """Answer a batch of pair determinations (API convenience)."""
-        return [self.is_nonedge(u, v) for u, v in pairs]
+    def is_nonedge_batch(self, pairs_u, pairs_v=None) -> np.ndarray:
+        """Answer a batch of pair determinations as a bool array.
+
+        Accepts aligned endpoint arrays (``pairs_u``, ``pairs_v``) or a
+        single sequence of ``(u, v)`` tuples.  Solutions override this
+        with an array-native implementation; the base version is the
+        scalar fallback with identical semantics.
+        """
+        us, vs = endpoint_arrays(pairs_u, pairs_v)
+        return np.fromiter(
+            (self.is_nonedge(int(u), int(v))
+             for u, v in zip(us.tolist(), vs.tolist())),
+            dtype=bool, count=len(us),
+        )
+
+    def _invalidate_batch(self) -> None:
+        """Drop the cached batch snapshot (call after any mutation)."""
+        self._batch_index = None
 
     # -- maintenance (optional) ------------------------------------------------
 

@@ -16,13 +16,16 @@ from __future__ import annotations
 
 import numpy as np
 
+from .base import endpoint_arrays
 from .blocks import BLOCK_LEFT, BLOCK_MIDDLE, BLOCK_RIGHT
 from .hybrid import HybridVend
 
 __all__ = ["ColumnarIndex"]
 
-#: Sentinel member value no vertex ID can take (IDs are < 2^32).
-_NO_MEMBER = np.uint64(2**63)
+#: Sentinel member value: IDs are < 2^32, so the all-ones uint32 can
+#: only collide with a (pathological) max-universe vertex, and a
+#: collision merely loses a detection — never soundness.
+_NO_MEMBER = np.uint32(0xFFFFFFFF)
 
 
 class ColumnarIndex:
@@ -44,7 +47,10 @@ class ColumnarIndex:
         self._kinds = np.zeros(n, dtype=np.uint8)
         self._lo = np.zeros(n, dtype=np.int64)
         self._hi = np.zeros(n, dtype=np.int64)
-        self._members = np.full((n, width), _NO_MEMBER, dtype=np.uint64)
+        # Transposed member matrix: one contiguous row per member slot,
+        # probed slot-by-slot so a batch never materializes an
+        # (n_pairs, width) gather.
+        self._members = np.full((width, n), _NO_MEMBER, dtype=np.uint32)
         self._slot_offset = np.zeros(n, dtype=np.int64)
         self._slot_size = np.ones(n, dtype=np.int64)
         words = (solution.total_bits + 63) // 64
@@ -58,12 +64,12 @@ class ColumnarIndex:
             self._exact[row] = bool(code.get_bit(solution._EXACT_BIT))
             if code.get_bit(0) == 0:
                 ids = solution.decoded_ids(v)
-                self._members[row, :len(ids)] = ids
+                self._members[:len(ids), row] = ids
                 continue
             self._flags[row] = 1
             kind, members, slot_offset, m = solution.core_layout(code)
             self._kinds[row] = kind
-            self._members[row, :len(members)] = members
+            self._members[:len(members), row] = members
             if members:
                 self._lo[row] = members[0]
                 self._hi[row] = members[-1]
@@ -86,9 +92,14 @@ class ColumnarIndex:
     def _ne_test(self, probes: np.ndarray, rows: np.ndarray) -> np.ndarray:
         """Vectorized Definition-8 NE-test: probes[i] vs code rows[i]."""
         safe = np.maximum(rows, 0)
-        is_member = (
-            self._members[safe] == probes[:, None].astype(np.uint64)
-        ).any(axis=1)
+        # Probe the member slots one contiguous row at a time: k_star
+        # cheap uint32 gathers instead of one (n_pairs, width) uint64
+        # materialization.  Out-of-range probes clip onto the sentinel,
+        # which only ever yields the conservative "not certain" answer.
+        probes32 = np.clip(probes, 0, int(_NO_MEMBER)).astype(np.uint32)
+        is_member = np.zeros(len(probes), dtype=bool)
+        for slot in self._members:
+            is_member |= slot.take(safe) == probes32
         flags = self._flags[safe]
         kinds = self._kinds[safe]
         lo, hi = self._lo[safe], self._hi[safe]
@@ -156,6 +167,21 @@ class ColumnarIndex:
             return np.zeros(0, dtype=bool)
         array = np.asarray(pairs, dtype=np.int64)
         return self.query_batch(array[:, 0], array[:, 1])
+
+    # -- NonedgeFilter interface --------------------------------------------------
+    # A snapshot can serve directly as an EdgeQueryEngine filter: the
+    # batched pipeline then skips even the owning solution's dispatch.
+
+    def is_nonedge(self, u: int, v: int) -> bool:
+        """Scalar NDF over the snapshot (NonedgeFilter conformance)."""
+        return bool(self.query_batch(
+            np.asarray([u], dtype=np.int64), np.asarray([v], dtype=np.int64)
+        )[0])
+
+    def is_nonedge_batch(self, pairs_u, pairs_v=None) -> np.ndarray:
+        """Batch NDF over the snapshot (NonedgeFilter conformance)."""
+        us, vs = endpoint_arrays(pairs_u, pairs_v)
+        return self.query_batch(us, vs)
 
     def memory_bytes(self) -> int:
         """Bytes held by the snapshot's arrays."""

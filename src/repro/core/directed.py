@@ -43,5 +43,9 @@ class DirectedVend:
         """
         return self.base.is_nonedge(u, v)
 
+    def is_nonedge_batch(self, pairs_u, pairs_v=None):
+        """Vectorized directed NDF: delegates to the base solution."""
+        return self.base.is_nonedge_batch(pairs_u, pairs_v)
+
     def memory_bytes(self) -> int:
         return self.base.memory_bytes()

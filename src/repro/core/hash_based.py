@@ -15,8 +15,11 @@ other's slot.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..graph import Graph, peel
-from .base import VendSolution, register_solution
+from .base import VendSolution, endpoint_arrays, register_solution
+from .batch import ModHashBatch
 from .partial import PartialVend
 
 __all__ = ["HashVend", "BitHashVend"]
@@ -35,6 +38,7 @@ class _ModHashVend(VendSolution):
         self._slots: dict[int, int] = {}
 
     def build(self, graph: Graph) -> None:
+        self._invalidate_batch()
         self._slots.clear()
         self._partial.build(graph)
         result = peel(graph, self.k)
@@ -50,10 +54,21 @@ class _ModHashVend(VendSolution):
             return False
         if self._partial.covers(u, v):
             return self._partial.is_nonedge(u, v)
+        slot_u = self._slots.get(u)
+        slot_v = self._slots.get(v)
+        if slot_u is None or slot_v is None:
+            return False  # unknown vertex: cannot certify anything
         m = self._slot_bits()
-        miss_u = not (self._slots[u] >> (v % m)) & 1
-        miss_v = not (self._slots[v] >> (u % m)) & 1
+        miss_u = not (slot_u >> (v % m)) & 1
+        miss_v = not (slot_v >> (u % m)) & 1
         return miss_u and miss_v
+
+    def is_nonedge_batch(self, pairs_u, pairs_v=None) -> np.ndarray:
+        """Vectorized modular-hash NDF (matches the scalar predicate)."""
+        us, vs = endpoint_arrays(pairs_u, pairs_v)
+        if self._batch_index is None:
+            self._batch_index = ModHashBatch(self)
+        return self._batch_index.query(us, vs)
 
     def memory_bytes(self) -> int:
         total = len(self._slots) * self.total_bits // 8

@@ -44,7 +44,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graph import Graph, peel
-from .base import NeighborFetch, VendSolution, register_solution
+from .base import NeighborFetch, VendSolution, endpoint_arrays, register_solution
 from .bitvector import BitVector
 from .blocks import (
     BLOCK_LEFT,
@@ -160,6 +160,7 @@ class HybridVend(VendSolution):
 
     def build(self, graph: Graph) -> None:
         """Encode all vertices: peel at ``k*+1``, then encode the core."""
+        self._invalidate_batch()
         self._configure_layout(max(graph.max_vertex_id, 1))
         self._codes.clear()
         self.stats.reset()
@@ -326,6 +327,21 @@ class HybridVend(VendSolution):
                 return True
         return self.ne_test(v, cu) and self.ne_test(u, cv)
 
+    def is_nonedge_batch(self, pairs_u, pairs_v=None) -> np.ndarray:
+        """Vectorized ``F^hyb`` via a cached columnar snapshot.
+
+        The snapshot is rebuilt lazily after ``build`` or any
+        maintenance hook invalidates it; direct code mutation outside
+        those hooks requires an explicit rebuild.
+        """
+        us, vs = endpoint_arrays(pairs_u, pairs_v)
+        if self.id_bits == 0 or not self._codes:
+            return np.zeros(len(us), dtype=bool)  # unbuilt: nothing certified
+        if self._batch_index is None:
+            from .columnar import ColumnarIndex  # deferred: avoids cycle
+            self._batch_index = ColumnarIndex(self)
+        return self._batch_index.query_batch(us, vs)
+
     # ---------------------------------------------------------------- NT-size
 
     def nt_size(self, code: BitVector) -> int:
@@ -361,11 +377,13 @@ class HybridVend(VendSolution):
                 "rebuild the encoding against the current graph"
             )
         if v not in self._codes:
+            self._invalidate_batch()
             self._codes[v] = self._encode_decodable([])
             self._max_id = max(self._max_id, v)
 
     def insert_edge(self, u: int, v: int, fetch: NeighborFetch) -> None:
         """Adjust codes so ``F^hyb(u, v)`` can no longer report NEpair."""
+        self._invalidate_batch()
         self.insert_vertex(u)
         self.insert_vertex(v)
         if not self.is_nonedge(u, v):
@@ -413,6 +431,7 @@ class HybridVend(VendSolution):
 
     def delete_edge(self, u: int, v: int, fetch: NeighborFetch) -> None:
         """Re-open the chance to detect the now-deleted pair."""
+        self._invalidate_batch()
         rebuilt = 0
         for owner, gone in ((u, v), (v, u)):
             code = self._codes.get(owner)
@@ -438,6 +457,7 @@ class HybridVend(VendSolution):
         """Clear ``f^hyb(v)`` and scrub ``v`` from affected neighbors."""
         if v not in self._codes:
             return
+        self._invalidate_batch()
         for u in fetch(v):
             code = self._codes.get(u)
             if code is None:

@@ -18,8 +18,11 @@ ascending in ``i`` and disjoint from vertex IDs, as the paper suggests.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..graph import Graph, peel
-from .base import VendSolution, register_solution
+from .base import VendSolution, endpoint_arrays, register_solution
+from .batch import PartialBatch
 
 __all__ = ["PartialVend", "FLAG_OFFSET"]
 
@@ -45,6 +48,7 @@ class PartialVend(VendSolution):
 
     def build(self, graph: Graph) -> None:
         """Peel at threshold ``k`` and encode every removed vertex."""
+        self._invalidate_batch()
         self._vectors.clear()
         self._members.clear()
         result = peel(graph, self.k)
@@ -78,6 +82,15 @@ class PartialVend(VendSolution):
         if fv is not None:
             return u not in self._members[v]
         return False  # both in the core: undetermined
+
+    def is_nonedge_batch(self, pairs_u, pairs_v=None) -> np.ndarray:
+        """Vectorized ``F^α`` over a pair batch (matches the scalar NDF)."""
+        us, vs = endpoint_arrays(pairs_u, pairs_v)
+        if self._batch_index is None:
+            self._batch_index = PartialBatch(self)
+        snapshot = self._batch_index
+        _, result = snapshot.query(us, vs, snapshot.rows(us), snapshot.rows(vs))
+        return result
 
     def covers(self, u: int, v: int) -> bool:
         """True when ``F^α`` decides this pair exactly (either peeled)."""

@@ -13,8 +13,11 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from ..graph import Graph, peel
-from .base import VendSolution, register_solution
+from .base import VendSolution, endpoint_arrays, register_solution
+from .batch import RangeBatch
 from .partial import PartialVend
 
 __all__ = ["RangeVend"]
@@ -47,6 +50,7 @@ class RangeVend(VendSolution):
         self._max_id = 0
 
     def build(self, graph: Graph) -> None:
+        self._invalidate_batch()
         self._blocks.clear()
         self._max_id = graph.max_vertex_id
         self._partial.build(graph)
@@ -89,13 +93,24 @@ class RangeVend(VendSolution):
             return False
         if self._partial.covers(u, v):
             return self._partial.is_nonedge(u, v)
-        lo_u, hi_u, members_u = self._blocks[u]
-        lo_v, hi_v, members_v = self._blocks[v]
+        block_u = self._blocks.get(u)
+        block_v = self._blocks.get(v)
+        if block_u is None or block_v is None:
+            return False  # unknown vertex: cannot certify anything
+        lo_u, hi_u, members_u = block_u
+        lo_v, hi_v, members_v = block_v
         if lo_v <= u <= hi_v and u not in members_v:
             return True
         if lo_u <= v <= hi_u and v not in members_u:
             return True
         return False
+
+    def is_nonedge_batch(self, pairs_u, pairs_v=None) -> np.ndarray:
+        """Vectorized ``F^R`` over a pair batch (matches the scalar NDF)."""
+        us, vs = endpoint_arrays(pairs_u, pairs_v)
+        if self._batch_index is None:
+            self._batch_index = RangeBatch(self)
+        return self._batch_index.query(us, vs)
 
     def memory_bytes(self) -> int:
         total = len(self._blocks) * self.total_bits // 8

@@ -12,12 +12,19 @@ from collections import OrderedDict
 
 __all__ = ["LRUCache"]
 
+#: Distinguishes "key absent" from a cached falsy value in one lookup.
+_MISSING = object()
+
 
 class LRUCache:
     """Least-recently-used cache with a byte-size capacity.
 
-    Values must expose ``len()`` (bytes / lists both work); an entry
-    larger than the whole capacity is simply not cached.
+    Values must expose ``len()`` (bytes / lists both work).  An entry
+    larger than the whole capacity cannot be cached: ``put`` drops it
+    *and* evicts any stale value already stored under the key, so the
+    cache never serves an outdated version of an oversized record.
+    ``evictions`` counts every entry displaced by capacity pressure or
+    an oversized overwrite (not explicit :meth:`evict` calls).
     """
 
     def __init__(self, capacity_bytes: int):
@@ -28,6 +35,7 @@ class LRUCache:
         self._size = 0
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._data)
@@ -38,18 +46,23 @@ class LRUCache:
 
     def get(self, key):
         """Return the cached value or None; updates recency and stats."""
-        if key in self._data:
-            self._data.move_to_end(key)
-            self.hits += 1
-            return self._data[key]
-        self.misses += 1
-        return None
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
 
     def put(self, key, value) -> None:
         """Insert/overwrite ``key``, evicting LRU entries as needed."""
         value_size = len(value)
         if value_size > self.capacity_bytes:
-            self.evict(key)
+            # Uncacheable: drop the stale entry rather than serve it.
+            if key in self._data:
+                self._size -= len(self._data[key])
+                del self._data[key]
+                self.evictions += 1
             return
         if key in self._data:
             self._size -= len(self._data[key])
@@ -59,6 +72,7 @@ class LRUCache:
         while self._size > self.capacity_bytes:
             _, evicted = self._data.popitem(last=False)
             self._size -= len(evicted)
+            self.evictions += 1
 
     def evict(self, key) -> None:
         """Drop ``key`` if present (used on updates/deletes)."""
@@ -73,3 +87,13 @@ class LRUCache:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot for benchmark reporting."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._data),
+            "size_bytes": self._size,
+        }

@@ -27,6 +27,24 @@ def _unpack(blob: bytes) -> list[int]:
     return np.frombuffer(blob, dtype=np.uint32).tolist()
 
 
+#: Vertex IDs are stored as uint32; probes outside this range miss.
+_ID_LIMIT = 2**32
+
+
+def _probe(blob: bytes, v: int) -> bool:
+    """Sorted-membership test directly on a packed adjacency blob.
+
+    ``np.frombuffer`` is a zero-copy view, so the blob is never
+    materialized as a Python list; one ``searchsorted`` answers the
+    membership query.
+    """
+    if not 0 <= v < _ID_LIMIT:
+        return False
+    neighbors = np.frombuffer(blob, dtype=np.uint32)
+    idx = int(neighbors.searchsorted(np.uint32(v)))
+    return idx < len(neighbors) and int(neighbors[idx]) == v
+
+
 class GraphStore:
     """Disk-resident adjacency lists with edge-level operations.
 
@@ -80,14 +98,68 @@ class GraphStore:
             raise KeyError(f"vertex {v} is not stored")
         return _unpack(blob)
 
+    def get_neighbors_array(self, v: int) -> np.ndarray:
+        """Sorted adjacency of ``v`` as a zero-copy ``uint32`` array."""
+        blob = self._kv.get(v)
+        if blob is None:
+            raise KeyError(f"vertex {v} is not stored")
+        return np.frombuffer(blob, dtype=np.uint32)
+
+    def get_neighbors_many(self, vertices) -> dict[int, np.ndarray]:
+        """Multi-get: one deduplicated, offset-ordered storage pass.
+
+        Returns ``{vertex: sorted uint32 adjacency array}``; raises
+        ``KeyError`` naming the missing vertices, mirroring
+        :meth:`get_neighbors`.
+        """
+        blobs = self._kv.get_many(vertices)
+        missing = [v for v, blob in blobs.items() if blob is None]
+        if missing:
+            raise KeyError(f"vertices {sorted(missing)} are not stored")
+        return {v: np.frombuffer(blob, dtype=np.uint32)
+                for v, blob in blobs.items()}
+
     def has_vertex(self, v: int) -> bool:
         return v in self._kv
 
     def has_edge(self, u: int, v: int) -> bool:
         """Edge query against storage: one disk access on ``u``'s list."""
-        neighbors = self.get_neighbors(u)
-        idx = bisect.bisect_left(neighbors, v)
-        return idx < len(neighbors) and neighbors[idx] == v
+        blob = self._kv.get(u)
+        if blob is None:
+            raise KeyError(f"vertex {u} is not stored")
+        return _probe(blob, v)
+
+    def has_edge_many(self, us, vs) -> np.ndarray:
+        """Vectorized edge queries: grouped multi-get + one searchsorted.
+
+        Probe lists are grouped by left endpoint, each distinct
+        adjacency list is fetched once via :meth:`get_neighbors_many`,
+        and membership is answered with a single ``searchsorted`` over
+        the group-offset-shifted concatenation of those lists.
+        """
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        if us.shape != vs.shape:
+            raise ValueError("endpoint arrays must be aligned")
+        if len(us) == 0:
+            return np.zeros(0, dtype=bool)
+        unique_us, group = np.unique(us, return_inverse=True)
+        adjacency = self.get_neighbors_many(unique_us.tolist())
+        arrays = [adjacency[int(u)] for u in unique_us]
+        lengths = np.asarray([len(a) for a in arrays], dtype=np.int64)
+        if lengths.sum() == 0:
+            return np.zeros(len(us), dtype=bool)
+        # Shift every group into a disjoint value range so one global
+        # searchsorted answers all per-group membership probes at once.
+        base = np.arange(len(arrays), dtype=np.int64) * _ID_LIMIT
+        combined = np.concatenate(
+            [a.astype(np.int64) for a in arrays]
+        ) + np.repeat(base, lengths)
+        valid = (vs >= 0) & (vs < _ID_LIMIT)
+        probes = vs + base[group]
+        pos = np.searchsorted(combined, probes)
+        pos = np.minimum(pos, len(combined) - 1)
+        return (combined[pos] == probes) & valid
 
     # -- updates -------------------------------------------------------------
 

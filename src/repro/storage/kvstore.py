@@ -109,6 +109,47 @@ class DiskKVStore:
             self._cache.put(key, value)
         return value
 
+    def get_many(self, keys) -> dict[int, bytes | None]:
+        """Batched read: one cache pass, then file reads in offset order.
+
+        Keys are deduplicated (a repeated key costs one lookup), the
+        cache is consulted exactly once per distinct key, and the
+        outstanding misses are read from the log sorted by file offset
+        so the access pattern is one forward sweep instead of random
+        seeks.  ``StorageStats`` counts exactly the physical activity:
+        one cache hit/miss per distinct key, one disk read per
+        uncached stored key.
+        """
+        result: dict[int, bytes | None] = {}
+        pending: list[tuple[int, int, int]] = []  # (offset, size, key)
+        for key in keys:
+            key = int(key)
+            if key in result:
+                continue
+            if self._cache is not None:
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self.stats.cache_hits += 1
+                    result[key] = cached
+                    continue
+                self.stats.cache_misses += 1
+            loc = self._index.get(key)
+            if loc is None:
+                result[key] = None
+                continue
+            result[key] = None  # placeholder keeps dedup exact
+            pending.append((loc[0], loc[1], key))
+        pending.sort()
+        for offset, size, key in pending:
+            self._file.seek(offset)
+            value = self._file.read(size)
+            self.stats.disk_reads += 1
+            self.stats.bytes_read += size
+            if self._cache is not None:
+                self._cache.put(key, value)
+            result[key] = value
+        return result
+
     def delete(self, key: int) -> bool:
         """Remove ``key``; appends a tombstone so recovery stays correct."""
         if key not in self._index:
@@ -208,6 +249,15 @@ class InMemoryKVStore:
             self.stats.disk_reads += 1
             self.stats.bytes_read += len(value)
         return value
+
+    def get_many(self, keys) -> dict[int, bytes | None]:
+        """Batched read with the same dedup semantics as the disk store."""
+        result: dict[int, bytes | None] = {}
+        for key in keys:
+            key = int(key)
+            if key not in result:
+                result[key] = self.get(key)
+        return result
 
     def delete(self, key: int) -> bool:
         if key in self._data:

@@ -149,6 +149,8 @@ class TestBatchInterface:
         g = paper_example_graph()
         s = build(RangeVend, g, k=3)
         pairs = [(1, 7), (1, 2), (2, 4)]
-        assert s.is_nonedge_batch(pairs) == [
-            s.is_nonedge(u, v) for u, v in pairs
-        ]
+        scalar = [s.is_nonedge(u, v) for u, v in pairs]
+        assert s.is_nonedge_batch(pairs).tolist() == scalar
+        us = [u for u, _ in pairs]
+        vs = [v for _, v in pairs]
+        assert s.is_nonedge_batch(us, vs).tolist() == scalar

@@ -57,6 +57,29 @@ class TestLRUCache:
         with pytest.raises(ValueError):
             LRUCache(-1)
 
+    def test_eviction_counter(self):
+        cache = LRUCache(6)
+        cache.put("a", b"xx")
+        cache.put("b", b"xx")
+        cache.put("c", b"xx")
+        assert cache.evictions == 0
+        cache.put("d", b"xxxx")  # displaces a and b
+        assert cache.evictions == 2
+        cache.evict("c")  # explicit eviction is NOT counted
+        assert cache.evictions == 2
+        assert cache.stats()["evictions"] == 2
+
+    def test_oversized_overwrite_drops_stale_entry(self):
+        """A put too large to cache must not leave the old value
+        servable under the same key (it would be stale)."""
+        cache = LRUCache(4)
+        cache.put("a", b"old")
+        assert cache.get("a") == b"old"
+        cache.put("a", b"toolong")
+        assert cache.get("a") is None
+        assert cache.size_bytes == 0
+        assert cache.evictions == 1
+
 
 class TestDiskKVStore:
     def test_put_get_roundtrip(self, tmp_path):
