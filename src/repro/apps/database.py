@@ -146,6 +146,11 @@ class VendGraphDB:
         """Physical I/O counters of the backing store."""
         return self.store.stats
 
+    @property
+    def degraded(self) -> bool:
+        """True when the storage layer reported IO faults (faults.py)."""
+        return self.store.degraded
+
     def index_memory_bytes(self) -> int:
         return self.vend.memory_bytes()
 

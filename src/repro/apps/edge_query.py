@@ -39,6 +39,7 @@ class QueryStats:
     positives: int = 0     # edges that actually existed
     cache_served: int = 0  # executed lookups absorbed by the block cache
     disk_served: int = 0   # executed lookups that paid a physical read
+    degraded: bool = False  # storage reported IO faults during the batch
     elapsed_seconds: float = 0.0
 
     @property
@@ -81,6 +82,8 @@ class EdgeQueryEngine:
         exists = self.store.has_edge(u, v)
         self.stats.cache_served += storage.cache_hits - hits_before
         self.stats.disk_served += storage.disk_reads - reads_before
+        if getattr(self.store, "degraded", False):
+            self.stats.degraded = True
         if exists:
             self.stats.positives += 1
         return exists
@@ -115,6 +118,8 @@ class EdgeQueryEngine:
             exists = self.store.has_edge_many(us[survivors], vs[survivors])
             self.stats.cache_served += storage.cache_hits - hits_before
             self.stats.disk_served += storage.disk_reads - reads_before
+            if getattr(self.store, "degraded", False):
+                self.stats.degraded = True
             self.stats.positives += int(exists.sum())
             answers[survivors] = exists
         return answers

@@ -1,8 +1,20 @@
 """Disk storage substrate: log-structured KV store + adjacency store."""
 
 from .cache import LRUCache
+from .faults import (
+    FaultConfig,
+    FaultInjectingKVStore,
+    FaultStats,
+    InjectedIOError,
+    SimulatedCrashError,
+)
 from .graphstore import GraphStore
-from .kvstore import DiskKVStore, InMemoryKVStore, StorageStats
+from .kvstore import (
+    CorruptRecordError,
+    DiskKVStore,
+    InMemoryKVStore,
+    StorageStats,
+)
 
 __all__ = [
     "LRUCache",
@@ -10,4 +22,10 @@ __all__ = [
     "DiskKVStore",
     "InMemoryKVStore",
     "StorageStats",
+    "CorruptRecordError",
+    "FaultConfig",
+    "FaultStats",
+    "FaultInjectingKVStore",
+    "InjectedIOError",
+    "SimulatedCrashError",
 ]

@@ -24,7 +24,10 @@ class LRUCache:
     *and* evicts any stale value already stored under the key, so the
     cache never serves an outdated version of an oversized record.
     ``evictions`` counts every entry displaced by capacity pressure or
-    an oversized overwrite (not explicit :meth:`evict` calls).
+    an oversized overwrite (not explicit :meth:`evict` calls);
+    ``invalidations`` counts entries dropped deliberately by
+    :meth:`evict` and :meth:`clear` (updates, deletes, compaction),
+    so degraded-mode reports can separate churn from pressure.
     """
 
     def __init__(self, capacity_bytes: int):
@@ -36,6 +39,7 @@ class LRUCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
 
     def __len__(self) -> int:
         return len(self._data)
@@ -74,13 +78,17 @@ class LRUCache:
             self._size -= len(evicted)
             self.evictions += 1
 
-    def evict(self, key) -> None:
+    def evict(self, key) -> bool:
         """Drop ``key`` if present (used on updates/deletes)."""
         if key in self._data:
             self._size -= len(self._data[key])
             del self._data[key]
+            self.invalidations += 1
+            return True
+        return False
 
     def clear(self) -> None:
+        self.invalidations += len(self._data)
         self._data.clear()
         self._size = 0
 
@@ -94,6 +102,7 @@ class LRUCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "invalidations": self.invalidations,
             "entries": len(self._data),
             "size_bytes": self._size,
         }

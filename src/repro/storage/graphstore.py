@@ -53,17 +53,29 @@ class GraphStore:
     path:
         Backing file for the KV log, or None for an in-memory store
         (tests).  ``cache_bytes`` configures the block cache.
+    kv:
+        A pre-built KV store (e.g. a
+        :class:`~repro.storage.faults.FaultInjectingKVStore` wrapping a
+        disk store).  Overrides ``path``/``cache_bytes`` when given.
     """
 
-    def __init__(self, path: str | Path | None = None, cache_bytes: int = 0):
-        if path is None:
-            self._kv: DiskKVStore | InMemoryKVStore = InMemoryKVStore()
+    def __init__(self, path: str | Path | None = None, cache_bytes: int = 0,
+                 kv=None):
+        if kv is not None:
+            self._kv = kv
+        elif path is None:
+            self._kv = InMemoryKVStore(cache_bytes=cache_bytes)
         else:
             self._kv = DiskKVStore(path, cache_bytes=cache_bytes)
 
     @property
     def stats(self) -> StorageStats:
         return self._kv.stats
+
+    @property
+    def degraded(self) -> bool:
+        """True when the backing store saw IO faults (see faults.py)."""
+        return bool(getattr(self._kv, "degraded", False))
 
     @property
     def num_vertices(self) -> int:

@@ -1,26 +1,109 @@
 """File-backed key-value store (the RocksDB stand-in).
 
-Design: an append-only data log plus an in-memory key → (offset, size)
-index, the classic log-structured layout.  Every ``get`` that misses the
-block cache performs a real ``seek`` + ``read`` against the file and is
-counted in :class:`StorageStats` — those counters are what the paper's
-Fig. 9 experiment is about (VEND exists to avoid exactly these reads).
+Design: an append-only data log plus an in-memory key → (offset, size,
+crc) index, the classic log-structured layout.  Every ``get`` that
+misses the block cache performs a real ``seek`` + ``read`` against the
+file and is counted in :class:`StorageStats` — those counters are what
+the paper's Fig. 9 experiment is about (VEND exists to avoid exactly
+these reads).
 
-``InMemoryKVStore`` implements the same interface for fast unit tests.
+Crash safety (DESIGN.md §8).  New logs use the **v2 record format**:
+an 8-byte file magic followed by self-checking frames::
+
+    [type:1][key:int64][length:uint32][crc32:uint32][payload]
+
+``crc32`` covers the frame header (minus itself) plus the payload, so
+a torn write — a record whose tail never reached the disk before a
+crash — fails either the structural bounds check or the checksum.
+Replay truncates the log back to the last intact record boundary and
+logs a recovery warning instead of indexing bytes that don't exist.
+Tombstones are an explicit record type, not a length sentinel.
+
+Logs written by the previous (v1) format — ``<qI`` header, payload,
+``0xFFFFFFFF`` length as the tombstone sentinel — are still replayed
+(with bounds-checked torn-tail truncation); a legacy log keeps
+appending v1 records until :meth:`DiskKVStore.compact` rewrites it,
+which always emits v2 and is itself atomic (temp file + fsync +
+``os.replace``).
+
+``InMemoryKVStore`` implements the same interface (including the
+block cache and its statistics) for fast unit tests.
 """
 
 from __future__ import annotations
 
+import logging
 import os
 import struct
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 
 from .cache import LRUCache
 
-__all__ = ["StorageStats", "DiskKVStore", "InMemoryKVStore"]
+__all__ = [
+    "StorageStats",
+    "DiskKVStore",
+    "InMemoryKVStore",
+    "CorruptRecordError",
+    "LOG_MAGIC",
+    "MAX_VALUE_BYTES",
+]
 
-_HEADER = struct.Struct("<qI")  # key (int64), value length (uint32)
+logger = logging.getLogger(__name__)
+
+#: 8-byte magic that opens every v2 log file.
+LOG_MAGIC = b"RKVLOG2\x00"
+
+_HEADER_V1 = struct.Struct("<qI")  # key (int64), value length (uint32)
+_V1_TOMBSTONE = 0xFFFFFFFF  # v1 length sentinel (collides with real 2^32-1)
+
+_FRAME = struct.Struct("<BqII")  # type, key, length, crc32
+_CRC_PREFIX = struct.Struct("<BqI")  # the frame fields the crc covers
+_REC_PUT = 0x01
+_REC_TOMBSTONE = 0x02
+
+#: Largest storable value.  The v1 tombstone sentinel occupies length
+#: 2^32-1, so any value whose length would reach the sentinel is
+#: rejected in *both* formats to keep logs mutually unambiguous.
+MAX_VALUE_BYTES = _V1_TOMBSTONE - 1
+
+
+class CorruptRecordError(RuntimeError):
+    """A stored record failed its checksum or size validation."""
+
+
+def _record_crc(rtype: int, key: int, payload: bytes) -> int:
+    """CRC32 over the frame header (minus the crc field) + payload."""
+    return zlib.crc32(payload, zlib.crc32(_CRC_PREFIX.pack(rtype, key, len(payload))))
+
+
+def _encode_frame(rtype: int, key: int, payload: bytes = b"") -> bytes:
+    crc = _record_crc(rtype, key, payload)
+    return _FRAME.pack(rtype, key, len(payload), crc) + payload
+
+
+def _check_value_size(size: int) -> None:
+    """Reject values whose length collides with the v1 tombstone sentinel."""
+    if size > MAX_VALUE_BYTES:
+        raise ValueError(
+            f"value of {size} bytes exceeds the {MAX_VALUE_BYTES}-byte "
+            f"maximum (length 0x{_V1_TOMBSTONE:X} is the tombstone sentinel)"
+        )
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Best-effort directory fsync so a rename survives power loss."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 @dataclass
@@ -33,6 +116,7 @@ class StorageStats:
     bytes_written: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    checksum_failures: int = 0
 
     def reset(self) -> None:
         for name in self.__dataclass_fields__:
@@ -49,24 +133,41 @@ class DiskKVStore:
     ----------
     path:
         Backing file.  Created if absent; an existing log is replayed to
-        rebuild the index (crash-style recovery).
+        rebuild the index.  Torn or corrupt tails are truncated back to
+        the last intact record (crash recovery).
     cache_bytes:
         Block-cache capacity; 0 disables caching entirely so every read
         hits the file (useful when benchmarks must observe raw I/O).
+    verify_reads:
+        When True (default), every physical read of a v2 record is
+        re-checksummed and a mismatch raises :class:`CorruptRecordError`
+        (RocksDB verifies block checksums on read the same way).
     """
 
-    def __init__(self, path: str | Path, cache_bytes: int = 0):
+    def __init__(self, path: str | Path, cache_bytes: int = 0,
+                 verify_reads: bool = True):
         self.path = Path(path)
         self.stats = StorageStats()
-        self._index: dict[int, tuple[int, int]] = {}
+        self.verify_reads = verify_reads
+        # key -> (payload offset, payload size, frame crc32 or None for v1)
+        self._index: dict[int, tuple[int, int, int | None]] = {}
         self._cache = LRUCache(cache_bytes) if cache_bytes > 0 else None
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        exists = self.path.exists()
         self._file = open(self.path, "a+b")
-        if exists:
+        self._file.seek(0, os.SEEK_END)
+        if self._file.tell() == 0:
+            self._format = 2
+            self._file.write(LOG_MAGIC)
+            self._file.flush()
+        else:
             self._replay()
 
     # -- public API --------------------------------------------------------
+
+    @property
+    def format_version(self) -> int:
+        """2 for checksummed logs, 1 for legacy logs (until compacted)."""
+        return self._format
 
     def __len__(self) -> int:
         return len(self._index)
@@ -77,17 +178,61 @@ class DiskKVStore:
     def keys(self):
         return self._index.keys()
 
+    def encode_put_record(self, key: int, value: bytes) -> bytes:
+        """The exact bytes :meth:`put` would append for ``(key, value)``.
+
+        Exposed so the fault injector can simulate a torn write by
+        appending only a prefix of a real record.
+        """
+        _check_value_size(len(value))
+        if self._format == 1:
+            return _HEADER_V1.pack(key, len(value)) + value
+        return _encode_frame(_REC_PUT, key, value)
+
     def put(self, key: int, value: bytes) -> None:
         """Write ``value`` under ``key`` (append + index update)."""
+        _check_value_size(len(value))
+        record = self.encode_put_record(key, value)
+        header_size = _HEADER_V1.size if self._format == 1 else _FRAME.size
         self._file.seek(0, os.SEEK_END)
         offset = self._file.tell()
-        self._file.write(_HEADER.pack(key, len(value)))
-        self._file.write(value)
-        self._index[key] = (offset + _HEADER.size, len(value))
+        try:
+            self._file.write(record)
+        except BaseException:
+            # A partial append is a self-inflicted torn tail; roll the
+            # file back so later appends don't bury garbage mid-log.
+            try:
+                self._file.truncate(offset)
+            except OSError:
+                pass
+            raise
+        crc = None if self._format == 1 else _record_crc(_REC_PUT, key, value)
+        self._index[key] = (offset + header_size, len(value), crc)
         self.stats.disk_writes += 1
-        self.stats.bytes_written += _HEADER.size + len(value)
+        self.stats.bytes_written += len(record)
         if self._cache is not None:
             self._cache.put(key, value)
+
+    def _read_record(self, key: int, offset: int, size: int,
+                     crc: int | None, count: bool = True) -> bytes:
+        self._file.seek(offset)
+        value = self._file.read(size)
+        if count:
+            self.stats.disk_reads += 1
+            self.stats.bytes_read += len(value)
+        if len(value) != size:
+            self.stats.checksum_failures += 1
+            raise CorruptRecordError(
+                f"key {key}: record at offset {offset} is {len(value)} bytes, "
+                f"expected {size} (log truncated underneath a live index?)"
+            )
+        if self.verify_reads and crc is not None:
+            if _record_crc(_REC_PUT, key, value) != crc:
+                self.stats.checksum_failures += 1
+                raise CorruptRecordError(
+                    f"key {key}: checksum mismatch at offset {offset}"
+                )
+        return value
 
     def get(self, key: int) -> bytes | None:
         """Read the value for ``key`` or None; counts a disk read on miss."""
@@ -100,11 +245,7 @@ class DiskKVStore:
         loc = self._index.get(key)
         if loc is None:
             return None
-        offset, size = loc
-        self._file.seek(offset)
-        value = self._file.read(size)
-        self.stats.disk_reads += 1
-        self.stats.bytes_read += size
+        value = self._read_record(key, *loc)
         if self._cache is not None:
             self._cache.put(key, value)
         return value
@@ -121,7 +262,7 @@ class DiskKVStore:
         uncached stored key.
         """
         result: dict[int, bytes | None] = {}
-        pending: list[tuple[int, int, int]] = []  # (offset, size, key)
+        pending: list[tuple[int, int, int | None, int]] = []
         for key in keys:
             key = int(key)
             if key in result:
@@ -138,13 +279,10 @@ class DiskKVStore:
                 result[key] = None
                 continue
             result[key] = None  # placeholder keeps dedup exact
-            pending.append((loc[0], loc[1], key))
-        pending.sort()
-        for offset, size, key in pending:
-            self._file.seek(offset)
-            value = self._file.read(size)
-            self.stats.disk_reads += 1
-            self.stats.bytes_read += size
+            pending.append((loc[0], loc[1], loc[2], key))
+        pending.sort(key=lambda item: item[0])
+        for offset, size, crc, key in pending:
+            value = self._read_record(key, offset, size, crc)
             if self._cache is not None:
                 self._cache.put(key, value)
             result[key] = value
@@ -154,36 +292,65 @@ class DiskKVStore:
         """Remove ``key``; appends a tombstone so recovery stays correct."""
         if key not in self._index:
             return False
+        if self._format == 1:
+            record = _HEADER_V1.pack(key, _V1_TOMBSTONE)
+        else:
+            record = _encode_frame(_REC_TOMBSTONE, key)
         self._file.seek(0, os.SEEK_END)
-        self._file.write(_HEADER.pack(key, 0xFFFFFFFF))
+        self._file.write(record)
         self.stats.disk_writes += 1
-        self.stats.bytes_written += _HEADER.size
+        self.stats.bytes_written += len(record)
         del self._index[key]
         if self._cache is not None:
             self._cache.evict(key)
         return True
 
-    def flush(self) -> None:
+    def flush(self, sync: bool = False) -> None:
+        """Push buffered writes to the OS; ``sync=True`` also fsyncs."""
         self._file.flush()
+        if sync:
+            os.fsync(self._file.fileno())
 
     def compact(self) -> int:
         """Rewrite only the live records, dropping overwritten versions
-        and tombstones (the log-structured GC).  Returns bytes saved."""
+        and tombstones (the log-structured GC).  Returns bytes saved.
+
+        The rewrite is atomic and durable: live records stream into a
+        temp file (always v2, so compaction upgrades legacy logs),
+        which is fsynced and then swapped in with ``os.replace``.  An
+        interruption at any point leaves the original log intact and
+        the store usable.
+        """
         self._file.flush()
         before = self.path.stat().st_size
         compact_path = self.path.with_suffix(self.path.suffix + ".compact")
-        new_index: dict[int, tuple[int, int]] = {}
-        with open(compact_path, "wb") as out:
-            for key in sorted(self._index):
-                offset, size = self._index[key]
-                self._file.seek(offset)
-                value = self._file.read(size)
-                new_index[key] = (out.tell() + _HEADER.size, size)
-                out.write(_HEADER.pack(key, size))
-                out.write(value)
+        new_index: dict[int, tuple[int, int, int | None]] = {}
+        try:
+            with open(compact_path, "wb") as out:
+                out.write(LOG_MAGIC)
+                for key in sorted(self._index):
+                    offset, size, crc = self._index[key]
+                    value = self._read_record(key, offset, size, crc,
+                                              count=False)
+                    new_crc = _record_crc(_REC_PUT, key, value)
+                    new_index[key] = (out.tell() + _FRAME.size, size, new_crc)
+                    out.write(_FRAME.pack(_REC_PUT, key, size, new_crc))
+                    out.write(value)
+                out.flush()
+                os.fsync(out.fileno())
+        except BaseException:
+            compact_path.unlink(missing_ok=True)
+            raise
         self._file.close()
-        compact_path.replace(self.path)
+        try:
+            os.replace(compact_path, self.path)
+        except BaseException:
+            compact_path.unlink(missing_ok=True)
+            self._file = open(self.path, "a+b")
+            raise
+        _fsync_dir(self.path.parent)
         self._file = open(self.path, "a+b")
+        self._format = 2
         self._index = new_index
         if self._cache is not None:
             self._cache.clear()
@@ -203,31 +370,92 @@ class DiskKVStore:
     # -- recovery ------------------------------------------------------------
 
     def _replay(self) -> None:
-        """Rebuild the index by scanning the log from the start."""
+        """Rebuild the index by scanning the log from the start.
+
+        Dispatches on the file magic: v2 logs get full structural +
+        checksum validation, legacy v1 logs get bounds validation.
+        Either way a torn or corrupt tail is truncated back to the
+        last intact record boundary.
+        """
+        self._file.seek(0, os.SEEK_END)
+        total = self._file.tell()
         self._file.seek(0)
-        while True:
-            header = self._file.read(_HEADER.size)
-            if len(header) < _HEADER.size:
-                break
-            key, size = _HEADER.unpack(header)
-            if size == 0xFFFFFFFF:  # tombstone
+        prefix = self._file.read(len(LOG_MAGIC))
+        if prefix == LOG_MAGIC:
+            self._format = 2
+            self._replay_v2(total)
+        else:
+            self._format = 1
+            self._file.seek(0)
+            self._replay_v1(total)
+
+    def _truncate_tail(self, pos: int, reason: str) -> None:
+        logger.warning(
+            "recovering %s: %s; truncating torn tail at byte %d",
+            self.path, reason, pos,
+        )
+        self._file.truncate(pos)
+        self._file.flush()
+
+    def _replay_v1(self, total: int) -> None:
+        pos = 0
+        while pos < total:
+            header = self._file.read(_HEADER_V1.size)
+            if len(header) < _HEADER_V1.size:
+                self._truncate_tail(pos, "short v1 record header")
+                return
+            key, size = _HEADER_V1.unpack(header)
+            if size == _V1_TOMBSTONE:
                 self._index.pop(key, None)
+                pos += _HEADER_V1.size
                 continue
-            offset = self._file.tell()
-            self._index[key] = (offset, size)
-            self._file.seek(size, os.SEEK_CUR)
+            offset = pos + _HEADER_V1.size
+            if offset + size > total:
+                self._truncate_tail(pos, "v1 record extends past EOF")
+                return
+            self._index[key] = (offset, size, None)
+            pos = offset + size
+            self._file.seek(pos)
+
+    def _replay_v2(self, total: int) -> None:
+        pos = len(LOG_MAGIC)
+        while pos < total:
+            header = self._file.read(_FRAME.size)
+            if len(header) < _FRAME.size:
+                self._truncate_tail(pos, "short v2 frame header")
+                return
+            rtype, key, size, crc = _FRAME.unpack(header)
+            if rtype not in (_REC_PUT, _REC_TOMBSTONE):
+                self._truncate_tail(pos, f"unknown record type 0x{rtype:02X}")
+                return
+            offset = pos + _FRAME.size
+            if offset + size > total:
+                self._truncate_tail(pos, "v2 record extends past EOF")
+                return
+            payload = self._file.read(size)
+            if _record_crc(rtype, key, payload) != crc:
+                self._truncate_tail(pos, f"checksum mismatch for key {key}")
+                return
+            if rtype == _REC_TOMBSTONE:
+                self._index.pop(key, None)
+            else:
+                self._index[key] = (offset, size, crc)
+            pos = offset + size
 
 
 class InMemoryKVStore:
     """Dict-backed store with the same interface and stats semantics.
 
     Each ``get`` still counts as a "disk read" so application-level
-    access accounting behaves identically in tests.
+    access accounting behaves identically in tests, and ``cache_bytes``
+    fronts reads with the same :class:`LRUCache` path as the disk
+    store, so cache-statistics tests have backend parity.
     """
 
     def __init__(self, cache_bytes: int = 0):
         self.stats = StorageStats()
         self._data: dict[int, bytes] = {}
+        self._cache = LRUCache(cache_bytes) if cache_bytes > 0 else None
 
     def __len__(self) -> int:
         return len(self._data)
@@ -239,15 +467,26 @@ class InMemoryKVStore:
         return self._data.keys()
 
     def put(self, key: int, value: bytes) -> None:
+        _check_value_size(len(value))
         self._data[key] = value
         self.stats.disk_writes += 1
         self.stats.bytes_written += len(value)
+        if self._cache is not None:
+            self._cache.put(key, value)
 
     def get(self, key: int) -> bytes | None:
+        if self._cache is not None:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                return cached
+            self.stats.cache_misses += 1
         value = self._data.get(key)
         if value is not None:
             self.stats.disk_reads += 1
             self.stats.bytes_read += len(value)
+            if self._cache is not None:
+                self._cache.put(key, value)
         return value
 
     def get_many(self, keys) -> dict[int, bytes | None]:
@@ -263,10 +502,12 @@ class InMemoryKVStore:
         if key in self._data:
             del self._data[key]
             self.stats.disk_writes += 1
+            if self._cache is not None:
+                self._cache.evict(key)
             return True
         return False
 
-    def flush(self) -> None:  # interface parity
+    def flush(self, sync: bool = False) -> None:  # interface parity
         pass
 
     def close(self) -> None:  # interface parity

@@ -96,3 +96,92 @@ def test_scalar_preserved_for_hybplus(tmp_path, graph):
     save_index(original, path)
     restored = load_index(path)
     assert restored.scalar == 8
+
+
+class TestCrashSafePersistence:
+    """save_index must never destroy the previous good index."""
+
+    def _saved(self, tmp_path, graph, k=4):
+        original = HybridVend(k=k)
+        original.build(graph)
+        path = tmp_path / "index.vend"
+        save_index(original, path)
+        return original, path
+
+    def test_interrupted_replace_keeps_old_index(self, tmp_path, graph,
+                                                 monkeypatch):
+        original, path = self._saved(tmp_path, graph)
+        before = path.read_bytes()
+        replacement = HybridVend(k=2)
+        replacement.build(graph)
+
+        def boom(src, dst):
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr("repro.core.persistence.os.replace", boom)
+        with pytest.raises(OSError, match="before rename"):
+            save_index(replacement, path)
+        monkeypatch.undo()
+        assert path.read_bytes() == before
+        assert list(tmp_path.iterdir()) == [path]  # no .tmp left behind
+        restored = load_index(path)
+        assert restored.k == original.k
+        for u, v in list(all_pairs(graph))[:200]:
+            assert restored.is_nonedge(u, v) == original.is_nonedge(u, v)
+
+    def test_interrupted_fsync_keeps_old_index(self, tmp_path, graph,
+                                               monkeypatch):
+        original, path = self._saved(tmp_path, graph)
+        before = path.read_bytes()
+
+        def boom(fd):
+            raise OSError("simulated crash during fsync")
+
+        monkeypatch.setattr("repro.core.persistence.os.fsync", boom)
+        with pytest.raises(OSError, match="during fsync"):
+            save_index(original, path)
+        monkeypatch.undo()
+        assert path.read_bytes() == before
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_successful_save_leaves_no_temp(self, tmp_path, graph):
+        _, path = self._saved(tmp_path, graph)
+        assert list(tmp_path.iterdir()) == [path]
+        assert path.stat().st_size > 0
+
+    def test_header_checksum_detects_corruption(self, tmp_path, graph):
+        _, path = self._saved(tmp_path, graph)
+        data = bytearray(path.read_bytes())
+        data[20] ^= 0xFF  # flip a bit inside the header fields
+        path.write_bytes(bytes(data))
+        with pytest.raises(IndexFormatError, match="checksum"):
+            load_index(path)
+
+    def test_v1_header_still_loads(self, tmp_path, graph):
+        from repro.core.persistence import _HEADER_CRC, _HEADER_PREFIX
+
+        original, path = self._saved(tmp_path, graph)
+        data = path.read_bytes()
+        fields = list(_HEADER_PREFIX.unpack_from(data))
+        fields[1] = 1  # rewrite the version field to v1
+        v1_data = (_HEADER_PREFIX.pack(*fields)
+                   + data[_HEADER_PREFIX.size + _HEADER_CRC.size:])
+        v1_path = tmp_path / "legacy.vend"
+        v1_path.write_bytes(v1_data)
+        restored = load_index(v1_path)
+        assert restored.k == original.k
+        assert restored.num_codes == original.num_codes
+        for u, v in list(all_pairs(graph))[:200]:
+            assert restored.is_nonedge(u, v) == original.is_nonedge(u, v)
+
+    def test_future_version_rejected(self, tmp_path, graph):
+        from repro.core.persistence import _HEADER_PREFIX
+
+        _, path = self._saved(tmp_path, graph)
+        data = bytearray(path.read_bytes())
+        fields = list(_HEADER_PREFIX.unpack_from(data))
+        fields[1] = 99
+        data[:_HEADER_PREFIX.size] = _HEADER_PREFIX.pack(*fields)
+        path.write_bytes(bytes(data))
+        with pytest.raises(IndexFormatError, match="unsupported version"):
+            load_index(path)

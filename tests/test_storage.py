@@ -1,9 +1,26 @@
 """Tests for the disk KV store, cache, and graph store."""
 
+import logging
+import os
+
 import pytest
 
 from repro.graph import DiGraph, Graph, erdos_renyi_graph
-from repro.storage import DiskKVStore, GraphStore, InMemoryKVStore, LRUCache
+from repro.storage import (
+    CorruptRecordError,
+    DiskKVStore,
+    GraphStore,
+    InMemoryKVStore,
+    LRUCache,
+)
+from repro.storage.kvstore import _FRAME, _HEADER_V1, _V1_TOMBSTONE, LOG_MAGIC
+
+
+class _HugeValue(bytes):
+    """A bytes stand-in reporting a 4 GiB length without allocating it."""
+
+    def __len__(self):
+        return 0xFFFFFFFF
 
 
 class TestLRUCache:
@@ -79,6 +96,19 @@ class TestLRUCache:
         assert cache.get("a") is None
         assert cache.size_bytes == 0
         assert cache.evictions == 1
+
+    def test_invalidation_counter(self):
+        cache = LRUCache(100)
+        cache.put("a", b"x")
+        cache.put("b", b"x")
+        assert cache.evict("a")
+        assert not cache.evict("a")
+        assert cache.invalidations == 1
+        cache.put("c", b"x")
+        cache.clear()
+        assert cache.invalidations == 3
+        assert cache.stats()["invalidations"] == 3
+        assert cache.evictions == 0
 
 
 class TestDiskKVStore:
@@ -268,3 +298,290 @@ class TestCompaction:
             store.stats.reset()
             assert store.get(1) == b"x" * 10
             assert store.stats.disk_reads == 1  # cache was invalidated
+
+
+class TestValueSizeLimit:
+    """The v1 tombstone sentinel must never be writable as a length."""
+
+    def test_disk_put_rejects_sentinel_sized_value(self, tmp_path):
+        with DiskKVStore(tmp_path / "db.log") as store:
+            before = store.path.stat().st_size
+            with pytest.raises(ValueError, match="tombstone sentinel"):
+                store.put(1, _HugeValue())
+            store.flush()
+            assert store.path.stat().st_size == before
+            assert 1 not in store
+
+    def test_inmemory_put_rejects_sentinel_sized_value(self):
+        store = InMemoryKVStore()
+        with pytest.raises(ValueError, match="tombstone sentinel"):
+            store.put(1, _HugeValue())
+        assert 1 not in store
+
+
+class TestInMemoryCacheParity:
+    def test_cache_stats_match_disk_backend(self, tmp_path):
+        """The same op sequence must produce the same cache/disk
+        counters on both backends (the stats-parity contract)."""
+        disk = DiskKVStore(tmp_path / "p.log", cache_bytes=1024)
+        mem = InMemoryKVStore(cache_bytes=1024)
+        for store in (disk, mem):
+            store.put(1, b"abcd")
+            store.put(2, b"efgh")
+            store.get(1)       # hit: put populated the cache
+            store.get(3)       # miss + absent
+            store.get_many([1, 2, 2])
+        for field in ("cache_hits", "cache_misses", "disk_reads"):
+            assert getattr(disk.stats, field) == getattr(mem.stats, field), field
+        disk.close()
+
+    def test_inmemory_cache_absorbs_repeat_reads(self):
+        store = InMemoryKVStore(cache_bytes=1024)
+        store.put(1, b"abcd")
+        store.get(1)
+        store.get(1)
+        assert store.stats.cache_hits == 2
+        assert store.stats.disk_reads == 0
+
+    def test_inmemory_delete_invalidates_cache(self):
+        store = InMemoryKVStore(cache_bytes=1024)
+        store.put(1, b"abcd")
+        assert store.delete(1)
+        assert store.get(1) is None
+
+
+class TestCrashRecovery:
+    """Torn-write recovery: replay truncates to the last intact record."""
+
+    def _build_log(self, path):
+        """Three committed records; returns their cumulative file sizes."""
+        sizes = []
+        with DiskKVStore(path) as store:
+            for key, value in ((1, b"alpha"), (2, b"bravo-bravo"),
+                               (3, b"the-final-record")):
+                store.put(key, value)
+                store.flush()
+                sizes.append(path.stat().st_size)
+        return sizes
+
+    def test_truncation_at_every_byte_of_final_record(self, tmp_path):
+        src = tmp_path / "src.log"
+        sizes = self._build_log(src)
+        data = src.read_bytes()
+        assert len(data) == sizes[-1]
+        for cut in range(sizes[1], sizes[2]):
+            path = tmp_path / f"cut{cut}.log"
+            path.write_bytes(data[:cut])
+            with DiskKVStore(path) as store:
+                assert store.get(1) == b"alpha"
+                assert store.get(2) == b"bravo-bravo"
+                assert 3 not in store and store.get(3) is None
+                # The log was physically truncated to the last boundary,
+                # so a new append lands on a clean tail.
+                store.put(4, b"post-recovery")
+            assert path.stat().st_size > sizes[1]
+            with DiskKVStore(path) as store:
+                assert store.get(2) == b"bravo-bravo"
+                assert store.get(4) == b"post-recovery"
+
+    def test_fully_committed_log_replays_unchanged(self, tmp_path):
+        src = tmp_path / "src.log"
+        sizes = self._build_log(src)
+        with DiskKVStore(src) as store:
+            assert store.get(3) == b"the-final-record"
+        assert src.stat().st_size == sizes[-1]
+
+    def test_recovery_logs_a_warning(self, tmp_path, caplog):
+        src = tmp_path / "src.log"
+        self._build_log(src)
+        data = src.read_bytes()
+        src.write_bytes(data[:-3])
+        with caplog.at_level(logging.WARNING, logger="repro.storage.kvstore"):
+            with DiskKVStore(src) as store:
+                assert 3 not in store
+        assert any("truncating torn tail" in rec.message
+                   for rec in caplog.records)
+
+    def test_corrupt_tail_checksum_detected(self, tmp_path):
+        """A bit flip in the final record (torn page, bit rot) must not
+        surface as a short/garbage value after reopen."""
+        src = tmp_path / "src.log"
+        sizes = self._build_log(src)
+        data = bytearray(src.read_bytes())
+        data[-4] ^= 0xFF  # corrupt the final record's payload
+        src.write_bytes(bytes(data))
+        with DiskKVStore(src) as store:
+            assert store.get(2) == b"bravo-bravo"
+            assert 3 not in store
+        assert src.stat().st_size == sizes[1]
+
+    def test_read_time_checksum_verification(self, tmp_path):
+        path = tmp_path / "db.log"
+        store = DiskKVStore(path)
+        store.put(1, b"x" * 32)
+        store.flush()
+        with open(path, "r+b") as raw:  # corrupt behind the store's back
+            raw.seek(len(LOG_MAGIC) + _FRAME.size + 5)
+            raw.write(b"\xee")
+        with pytest.raises(CorruptRecordError, match="checksum"):
+            store.get(1)
+        assert store.stats.checksum_failures == 1
+        store.close()
+
+    def test_verification_can_be_disabled(self, tmp_path):
+        path = tmp_path / "db.log"
+        store = DiskKVStore(path, verify_reads=False)
+        store.put(1, b"x" * 32)
+        store.flush()
+        with open(path, "r+b") as raw:
+            raw.seek(len(LOG_MAGIC) + _FRAME.size + 5)
+            raw.write(b"\xee")
+        assert store.get(1) != b"x" * 32  # garbage, but no exception
+        store.close()
+
+    def test_tombstone_is_explicit_record_type(self, tmp_path):
+        path = tmp_path / "db.log"
+        with DiskKVStore(path) as store:
+            store.put(7, b"gone-soon")
+            store.delete(7)
+        data = path.read_bytes()
+        rtype, key, size, _crc = _FRAME.unpack_from(data, len(data) - _FRAME.size)
+        assert (rtype, key, size) == (0x02, 7, 0)
+        with DiskKVStore(path) as store:
+            assert 7 not in store
+
+
+class TestV1Compatibility:
+    """Logs written by the pre-checksum format still replay."""
+
+    @staticmethod
+    def _v1_record(key, value):
+        return _HEADER_V1.pack(key, len(value)) + value
+
+    @staticmethod
+    def _v1_tombstone(key):
+        return _HEADER_V1.pack(key, _V1_TOMBSTONE)
+
+    def _write_v1_log(self, path):
+        path.write_bytes(
+            self._v1_record(1, b"aaaa")
+            + self._v1_record(2, b"bbbbbb")
+            + self._v1_tombstone(1)
+            + self._v1_record(3, b"cc")
+        )
+
+    def test_v1_log_replays(self, tmp_path):
+        path = tmp_path / "legacy.log"
+        self._write_v1_log(path)
+        with DiskKVStore(path) as store:
+            assert store.format_version == 1
+            assert store.get(1) is None
+            assert store.get(2) == b"bbbbbb"
+            assert store.get(3) == b"cc"
+
+    def test_v1_torn_tail_truncated(self, tmp_path):
+        path = tmp_path / "legacy.log"
+        self._write_v1_log(path)
+        full = path.read_bytes()
+        path.write_bytes(full[:-1])  # tear the final record
+        with DiskKVStore(path) as store:
+            assert store.get(2) == b"bbbbbb"
+            assert 3 not in store
+        assert path.stat().st_size == len(full) - len(self._v1_record(3, b"cc"))
+
+    def test_v1_header_only_tail_truncated(self, tmp_path):
+        """A v1 record whose length field says 1 GiB but whose payload
+        never hit the disk must not be indexed past EOF."""
+        path = tmp_path / "legacy.log"
+        self._write_v1_log(path)
+        with open(path, "ab") as raw:
+            raw.write(_HEADER_V1.pack(9, 1 << 30))
+        with DiskKVStore(path) as store:
+            assert 9 not in store
+            assert store.get(3) == b"cc"
+
+    def test_v1_log_keeps_appending_v1(self, tmp_path):
+        path = tmp_path / "legacy.log"
+        self._write_v1_log(path)
+        with DiskKVStore(path) as store:
+            store.put(4, b"dddd")
+            store.delete(2)
+        with DiskKVStore(path) as store:
+            assert store.format_version == 1
+            assert store.get(4) == b"dddd"
+            assert store.get(2) is None
+
+    def test_compact_upgrades_v1_to_v2(self, tmp_path):
+        path = tmp_path / "legacy.log"
+        self._write_v1_log(path)
+        with DiskKVStore(path) as store:
+            assert store.format_version == 1
+            store.compact()
+            assert store.format_version == 2
+            store.put(5, b"new-style")
+        assert path.read_bytes()[:len(LOG_MAGIC)] == LOG_MAGIC
+        with DiskKVStore(path) as store:
+            assert store.format_version == 2
+            assert store.get(2) == b"bbbbbb"
+            assert store.get(3) == b"cc"
+            assert store.get(5) == b"new-style"
+
+
+class TestAtomicCompaction:
+    def _loaded_store(self, path):
+        store = DiskKVStore(path)
+        for key in range(8):
+            store.put(key, bytes([key]) * 32)
+            store.put(key, bytes([key]) * 16)  # garbage for GC
+        store.flush()
+        return store
+
+    def test_interrupted_replace_leaves_original_intact(self, tmp_path, monkeypatch):
+        path = tmp_path / "db.log"
+        store = self._loaded_store(path)
+        before = path.read_bytes()
+
+        def boom(src, dst):
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr("repro.storage.kvstore.os.replace", boom)
+        with pytest.raises(OSError, match="before rename"):
+            store.compact()
+        monkeypatch.undo()
+        # Original log untouched, no temp left, store still serves reads.
+        assert path.read_bytes() == before
+        assert list(tmp_path.iterdir()) == [path]
+        assert store.get(3) == bytes([3]) * 16
+        store.close()
+        with DiskKVStore(path) as reopened:
+            assert reopened.get(3) == bytes([3]) * 16
+
+    def test_interrupted_fsync_leaves_original_intact(self, tmp_path, monkeypatch):
+        path = tmp_path / "db.log"
+        store = self._loaded_store(path)
+        before = path.read_bytes()
+        real_fsync = os.fsync
+
+        def boom(fd):
+            raise OSError("simulated crash before fsync completes")
+
+        monkeypatch.setattr("repro.storage.kvstore.os.fsync", boom)
+        with pytest.raises(OSError, match="before fsync"):
+            store.compact()
+        monkeypatch.setattr("repro.storage.kvstore.os.fsync", real_fsync)
+        assert path.read_bytes() == before
+        assert list(tmp_path.iterdir()) == [path]
+        assert store.get(3) == bytes([3]) * 16
+        saved = store.compact()  # and compaction still works afterwards
+        assert saved > 0
+        assert store.get(3) == bytes([3]) * 16
+        store.close()
+
+    def test_successful_compact_is_checksummed(self, tmp_path):
+        path = tmp_path / "db.log"
+        store = self._loaded_store(path)
+        store.compact()
+        store.close()
+        with DiskKVStore(path) as reopened:
+            for key in range(8):
+                assert reopened.get(key) == bytes([key]) * 16
