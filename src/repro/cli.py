@@ -8,12 +8,17 @@ Commands cover the basic operational loop of a VEND deployment:
 - ``info`` — describe an index file;
 - ``query`` — run one NEpair determination;
 - ``score`` — evaluate the VEND score on a sampled workload;
-- ``analyze`` — index statistics and per-pair-class score breakdown.
+- ``analyze`` — index statistics and per-pair-class score breakdown;
+- ``lint`` — the VEND invariant linter (rules R001–R005, DESIGN.md §9);
+- ``audit`` — seeded differential soundness sweep over registered
+  solutions (zero false no-edge verdicts, scalar/batch agreement,
+  post-maintenance validity).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
@@ -82,6 +87,29 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--graph", required=True, type=Path)
     analyze.add_argument("--pairs", type=int, default=50_000)
     analyze.add_argument("--seed", type=int, default=0)
+
+    lint = commands.add_parser(
+        "lint", help="run the VEND invariant linter (R001-R005)"
+    )
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--rules", default=None,
+                      help="comma-separated subset, e.g. R001,R003")
+
+    audit = commands.add_parser(
+        "audit", help="seeded soundness sweep over registered solutions"
+    )
+    audit.add_argument("--solutions", default="all",
+                       help='comma-separated names or "all" (the registry)')
+    audit.add_argument("--seed", type=int,
+                       default=int(os.environ.get("REPRO_AUDIT_SEED", "0")))
+    audit.add_argument("--vertices", type=int, default=300)
+    audit.add_argument("--avg-degree", type=float, default=8.0)
+    audit.add_argument("--k", type=int, default=6)
+    audit.add_argument("--pairs", type=int, default=2000)
+    audit.add_argument("--updates", type=int, default=50)
+    audit.add_argument("--no-maintenance", action="store_true",
+                       help="skip the insert+delete maintenance phase")
 
     return parser
 
@@ -172,6 +200,52 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from .devtools import lint_paths
+
+    rules = None
+    if args.rules:
+        rules = {r.strip() for r in args.rules.split(",") if r.strip()}
+    findings = lint_paths(args.paths, rules=rules)
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        print(f"{len(findings)} finding(s)")
+        return 1
+    print("lint: clean")
+    return 0
+
+
+def _cmd_audit(args) -> int:
+    from .core import available_solutions, create_solution
+    from .devtools import SoundnessAuditor
+    from .graph import powerlaw_graph
+
+    if args.solutions == "all":
+        names = available_solutions()
+    else:
+        names = [n.strip() for n in args.solutions.split(",") if n.strip()]
+    graph = powerlaw_graph(args.vertices, args.avg_degree, seed=args.seed)
+    print(f"audit graph: |V|={graph.num_vertices} |E|={graph.num_edges} "
+          f"seed={args.seed}")
+    auditor = SoundnessAuditor(graph, seed=args.seed, pairs=args.pairs,
+                               updates=args.updates)
+    failed = 0
+    for name in names:
+        solution = create_solution(name, k=args.k)
+        report = auditor.audit(solution,
+                               maintenance=not args.no_maintenance)
+        print(report.summary())
+        for violation in report.violations:
+            print(f"  {violation.format()}")
+        failed += 0 if report.ok else 1
+    if failed:
+        print(f"audit: {failed}/{len(names)} solutions FAILED")
+        return 1
+    print(f"audit: all {len(names)} solutions sound")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "build": _cmd_build,
@@ -179,6 +253,8 @@ _COMMANDS = {
     "query": _cmd_query,
     "score": _cmd_score,
     "analyze": _cmd_analyze,
+    "lint": _cmd_lint,
+    "audit": _cmd_audit,
 }
 
 

@@ -111,6 +111,13 @@ class VendSolution(ABC):
     #: Registry key, e.g. ``"hybrid"``.
     name: str = "abstract"
 
+    #: Whether the insert/delete hooks are implemented.  Registered
+    #: solutions must declare this (or define the hooks) explicitly —
+    #: the R002 lint rule does not count this base default — and the
+    #: soundness auditor uses it to pick hook-driven maintenance vs.
+    #: rebuild-on-mutation.
+    supports_maintenance: bool = False
+
     def __init__(self, k: int, int_bits: int = 32):
         if k < 1:
             raise ValueError("dimension number k must be >= 1")

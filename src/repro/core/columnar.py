@@ -113,12 +113,11 @@ class ColumnarIndex:
         word = self._words[safe, bit_index // 64]
         bit = (word >> (bit_index % 64).astype(np.uint64)) & np.uint64(1)
         hash_miss = bit == 0
-        result = np.where(
+        return np.where(
             flags == 0,
             ~is_member,                       # decodable: explicit list
             np.where(in_range, ~is_member, hash_miss),
         )
-        return result
 
     # -- public API --------------------------------------------------------------
 

@@ -28,6 +28,9 @@ __all__ = ["HashVend", "BitHashVend"]
 class _ModHashVend(VendSolution):
     """Shared machinery: peel + per-core-vertex modular hash bitset."""
 
+    #: Static baselines: mutations are handled by rebuilding (no hooks).
+    supports_maintenance = False
+
     #: Subclasses define the slot size in bits.
     def _slot_bits(self) -> int:
         raise NotImplementedError

@@ -270,7 +270,8 @@ class HybPlusVend(HybridVend):
         (kind, size, head, tail, _controls, _actives,
          _data_offset, slot_offset, m) = self._parse_core(code)
         slot = code.read_field(slot_offset, m)
-        zero_mask = np.array([(slot >> i) & 1 == 0 for i in range(m)])
+        zero_mask = np.array([(slot >> i) & 1 == 0 for i in range(m)],
+                             dtype=bool)
         if size == 0:
             return count_hash_misses(zero_mask, self._max_id)
         if kind == BLOCK_LEFT:

@@ -101,6 +101,9 @@ class HybridVend(VendSolution):
 
     name = "hybrid"
 
+    #: Full dynamic maintenance via the insert/delete hooks below.
+    supports_maintenance = True
+
     #: Bit 1 is the *exactness* bit in both layouts: decodable codes
     #: use it as the α-complete flag, core codes as the record-all-
     #: flag-1-neighbors flag (see module docstring).
@@ -354,7 +357,8 @@ class HybridVend(VendSolution):
         slot_offset = self._core_header + size * self.id_bits
         m = self.total_bits - slot_offset
         slot = code.read_field(slot_offset, m)
-        zero_mask = np.array([(slot >> i) & 1 == 0 for i in range(m)])
+        zero_mask = np.array([(slot >> i) & 1 == 0 for i in range(m)],
+                             dtype=bool)
         if size == 0:
             return count_hash_misses(zero_mask, self._max_id)
         members = self._read_ids(code, self._core_header, size)

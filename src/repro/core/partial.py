@@ -40,6 +40,9 @@ class PartialVend(VendSolution):
 
     name = "partial"
 
+    #: Static baseline: mutations are handled by rebuilding (no hooks).
+    supports_maintenance = False
+
     def __init__(self, k: int, int_bits: int = 32):
         super().__init__(k, int_bits)
         self._vectors: dict[int, list[int]] = {}

@@ -39,6 +39,9 @@ class RangeVend(VendSolution):
 
     name = "range"
 
+    #: Static baseline: mutations are handled by rebuilding (no hooks).
+    supports_maintenance = False
+
     def __init__(self, k: int, int_bits: int = 32, strategy: str = "best"):
         super().__init__(k, int_bits)
         if strategy not in ("best", "basic"):

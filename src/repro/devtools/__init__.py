@@ -1,0 +1,19 @@
+"""Developer tooling: the VEND invariant linter and soundness auditor.
+
+``repro lint`` runs :mod:`.linter` (rules R001–R005) over source trees;
+``repro audit`` runs :mod:`.audit`'s differential soundness sweep over
+every registered solution.  Both are wired into CI — see DESIGN.md §9.
+"""
+
+from .audit import AuditReport, AuditViolation, SoundnessAuditor
+from .linter import RULES, Finding, Linter, lint_paths
+
+__all__ = [
+    "Finding",
+    "Linter",
+    "lint_paths",
+    "RULES",
+    "AuditReport",
+    "AuditViolation",
+    "SoundnessAuditor",
+]

@@ -1,0 +1,236 @@
+"""Runtime soundness auditing — the ``repro audit`` sweep.
+
+The linter (:mod:`repro.devtools.linter`) checks invariants statically;
+this module checks them *differentially* at runtime.  A
+:class:`SoundnessAuditor` wraps any registered solution and verifies,
+against ground truth adjacency, the three properties VEND's value rests
+on:
+
+(a) **zero false no-edge verdicts** — ``is_nonedge(u, v)`` must never
+    return True for an existing edge (Definition 4's one-sided
+    contract), checked over every current edge *and* seeded
+    RandPair/CommPair workloads;
+(b) **scalar/batch agreement** — ``is_nonedge_batch`` must answer
+    exactly like the scalar NDF, which catches stale batch snapshots
+    (the R003 bug class) at runtime;
+(c) **post-maintenance validity** — after a seeded insert+delete phase
+    the same checks must still hold: solutions with maintenance hooks
+    (``supports_maintenance``) are mutated in place, static baselines
+    are rebuilt against the mutated graph (their documented maintenance
+    story).
+
+Everything is seeded; ``repro audit --seed N`` reproduces a sweep
+bit-for-bit, and CI rotates ``REPRO_AUDIT_SEED`` over several seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.base import VendSolution, nonedge_batch_mask
+from ..graph import Graph
+from ..workloads import common_neighbor_pairs, random_pairs
+from ..workloads.updates import sample_deletions, sample_insertions
+
+__all__ = ["AuditViolation", "AuditReport", "SoundnessAuditor"]
+
+
+@dataclass(frozen=True)
+class AuditViolation:
+    """One broken invariant, with the offending pair and phase."""
+
+    check: str   # "false-nonedge" | "batch-mismatch" | "maintenance-error"
+    phase: str   # "static" | "maintenance"
+    pair: tuple[int, int]
+    detail: str
+
+    def format(self) -> str:
+        u, v = self.pair
+        return f"[{self.phase}] {self.check} on ({u}, {v}): {self.detail}"
+
+
+@dataclass
+class AuditReport:
+    """Outcome of one solution's audit."""
+
+    solution: str
+    seed: int
+    edges_checked: int = 0
+    pairs_checked: int = 0
+    detections: int = 0
+    maintenance_mode: str = "skipped"   # "hooks" | "rebuild" | "skipped"
+    inserts_applied: int = 0
+    deletes_applied: int = 0
+    deleted_pairs_detected: int = 0
+    violations: list[AuditViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"FAIL ({len(self.violations)} violations)"
+        return (
+            f"{self.solution:<10} seed={self.seed} "
+            f"edges={self.edges_checked} pairs={self.pairs_checked} "
+            f"detections={self.detections} "
+            f"maintenance={self.maintenance_mode} "
+            f"(+{self.inserts_applied}/-{self.deletes_applied}) {status}"
+        )
+
+
+class SoundnessAuditor:
+    """Differential checker for VEND solutions over a ground-truth graph.
+
+    Parameters
+    ----------
+    graph:
+        Ground truth.  The auditor works on a private copy, so the
+        caller's graph is never mutated by the maintenance phase.
+    seed:
+        Master seed for every sampled workload.
+    pairs:
+        RandPair/CommPair sample size per phase.
+    updates:
+        Insertions *and* deletions applied in the maintenance phase.
+    scalar_sample:
+        Pairs re-checked with the scalar NDF for batch agreement (the
+        batch path is checked on every pair).
+    max_violations:
+        Recording cap per audit; checking stops early once reached.
+    """
+
+    def __init__(self, graph: Graph, seed: int = 0, pairs: int = 2000,
+                 updates: int = 50, scalar_sample: int = 500,
+                 max_violations: int = 20):
+        self._edges = sorted(graph.edges())
+        self.seed = seed
+        self.pairs = pairs
+        self.updates = updates
+        self.scalar_sample = scalar_sample
+        self.max_violations = max_violations
+
+    # ------------------------------------------------------------------ audit
+
+    def audit(self, solution: VendSolution,
+              maintenance: bool = True) -> AuditReport:
+        """Build ``solution`` on the graph and run every check phase."""
+        graph = Graph(self._edges)
+        report = AuditReport(solution=getattr(solution, "name", "?"),
+                             seed=self.seed)
+        solution.build(graph)
+        self._check_phase(solution, graph, "static", report)
+        if maintenance and not self._full(report):
+            self._maintenance_phase(solution, graph, report)
+        return report
+
+    # ------------------------------------------------------------------ phases
+
+    def _check_phase(self, solution, graph: Graph, phase: str,
+                     report: AuditReport) -> None:
+        self._check_edges(solution, graph, phase, report)
+        offset = 0 if phase == "static" else 1000
+        workload = random_pairs(graph, self.pairs, seed=self.seed + offset)
+        workload += common_neighbor_pairs(graph, self.pairs,
+                                          seed=self.seed + offset + 1)
+        self._check_pairs(solution, graph, workload, phase, report)
+
+    def _check_edges(self, solution, graph: Graph, phase: str,
+                     report: AuditReport) -> None:
+        """(a) on every current edge, via the batch path + a scalar sample."""
+        edges = sorted(graph.edges())
+        if not edges:
+            return
+        mask = nonedge_batch_mask(solution, edges)
+        report.edges_checked += len(edges)
+        for (u, v), wrong in zip(edges, mask.tolist()):
+            if wrong and not self._full(report):
+                report.violations.append(AuditViolation(
+                    "false-nonedge", phase, (u, v),
+                    "batch NDF certifies an existing edge as an NEpair",
+                ))
+        step = max(1, len(edges) // self.scalar_sample)
+        for u, v in edges[::step]:
+            if self._full(report):
+                break
+            for a, b in ((u, v), (v, u)):
+                if solution.is_nonedge(a, b):
+                    report.violations.append(AuditViolation(
+                        "false-nonedge", phase, (a, b),
+                        "scalar NDF certifies an existing edge as an NEpair",
+                    ))
+
+    def _check_pairs(self, solution, graph: Graph, workload, phase: str,
+                     report: AuditReport) -> None:
+        """(a) + (b) over a seeded mixed workload."""
+        if not workload:
+            return
+        mask = nonedge_batch_mask(solution, workload)
+        report.pairs_checked += len(workload)
+        report.detections += int(mask.sum())
+        for (u, v), certain in zip(workload, mask.tolist()):
+            if certain and graph.has_edge(u, v) and not self._full(report):
+                report.violations.append(AuditViolation(
+                    "false-nonedge", phase, (u, v),
+                    "batch NDF certifies an existing edge as an NEpair",
+                ))
+        step = max(1, len(workload) // self.scalar_sample)
+        for index in range(0, len(workload), step):
+            if self._full(report):
+                break
+            u, v = workload[index]
+            scalar = solution.is_nonedge(u, v)
+            if scalar != bool(mask[index]):
+                report.violations.append(AuditViolation(
+                    "batch-mismatch", phase, (u, v),
+                    f"scalar NDF says {scalar} but the batch path says "
+                    f"{bool(mask[index])} (stale snapshot?)",
+                ))
+
+    def _maintenance_phase(self, solution, graph: Graph,
+                           report: AuditReport) -> None:
+        """(c): seeded insert+delete phase, then re-run every check."""
+        insertions = sample_insertions(graph, self.updates,
+                                       seed=self.seed + 7)
+        deletions = sample_deletions(graph, self.updates,
+                                     seed=self.seed + 8)
+        use_hooks = bool(getattr(solution, "supports_maintenance", False))
+        report.maintenance_mode = "hooks" if use_hooks else "rebuild"
+        try:
+            for u, v in insertions:
+                graph.add_edge(u, v)
+                if use_hooks:
+                    solution.insert_edge(u, v, graph.sorted_neighbors)
+                report.inserts_applied += 1
+            for u, v in deletions:
+                if not graph.has_edge(u, v):
+                    continue  # deleted transitively / sampled twice
+                graph.remove_edge(u, v)
+                if use_hooks:
+                    solution.delete_edge(u, v, graph.sorted_neighbors)
+                report.deletes_applied += 1
+        except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+            report.violations.append(AuditViolation(
+                "maintenance-error", "maintenance", (-1, -1),
+                f"{type(exc).__name__}: {exc}",
+            ))
+            return
+        if not use_hooks:
+            solution.build(graph)
+        # Inserted edges are the sharpest probe: a stale snapshot or a
+        # broken insert path shows up here first.
+        for u, v in insertions:
+            if self._full(report):
+                break
+            if solution.is_nonedge(u, v):
+                report.violations.append(AuditViolation(
+                    "false-nonedge", "maintenance", (u, v),
+                    "freshly inserted edge still certified as an NEpair",
+                ))
+        for u, v in deletions:
+            if not graph.has_edge(u, v) and solution.is_nonedge(u, v):
+                report.deleted_pairs_detected += 1
+        self._check_phase(solution, graph, "maintenance", report)
+
+    def _full(self, report: AuditReport) -> bool:
+        return len(report.violations) >= self.max_violations

@@ -88,7 +88,7 @@ def simd_shuffle_bytes(data: np.ndarray, mask: np.ndarray) -> np.ndarray:
     matching the high-bit-set convention of the hardware instruction.
     """
     data = np.asarray(data, dtype=np.uint8)
-    mask = np.asarray(mask)
+    mask = np.asarray(mask, dtype=np.int64)
     out = np.zeros(len(mask), dtype=np.uint8)
     valid = mask != SHUFFLE_ZERO
     out[valid] = data[mask[valid]]

@@ -172,6 +172,7 @@ class FaultInjectingKVStore:
                 self.fault_stats.retries += 1
                 self._sleep(delay)
                 delay *= self.config.backoff_factor
+        raise AssertionError("unreachable: the final retry re-raises")
 
     def _maybe_fail_read(self) -> None:
         self._sleep(self.config.read_latency)

@@ -1,0 +1,22 @@
+"""R001 bad: untyped array constructors and signed/unsigned mixing.
+
+Lives under a ``core/`` directory because R001 only applies to the
+dtype-sensitive hot paths (core/, simd/, storage/).
+"""
+
+import numpy as np
+
+
+def untyped(values):
+    return np.asarray(values)
+
+
+def untyped_array(values):
+    blob = np.array(values)
+    return blob.tobytes()
+
+
+def mixed_lanes(ids, n):
+    lanes = np.asarray(ids, dtype=np.uint32)
+    offsets = np.arange(n, dtype=np.int64)
+    return lanes + offsets

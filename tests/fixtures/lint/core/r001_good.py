@@ -1,0 +1,18 @@
+"""R001 good: explicit dtypes everywhere; casts before cross-dtype math."""
+
+import numpy as np
+
+
+def untyped(values):
+    return np.asarray(values, dtype=np.uint32)
+
+
+def untyped_array(values):
+    blob = np.array(values, dtype=np.uint32)
+    return blob.tobytes()
+
+
+def mixed_lanes(ids, n):
+    lanes = np.asarray(ids, dtype=np.uint32)
+    offsets = np.arange(n, dtype=np.int64)
+    return lanes.astype(np.int64) + offsets

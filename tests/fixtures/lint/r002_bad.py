@@ -1,0 +1,27 @@
+"""R002 bad: a registered solution shipping half its interface.
+
+Missing the batch snapshot path and any maintenance declaration, so a
+new solution cannot silently drop out of the batched query pipeline or
+the update story.
+"""
+
+
+def register_solution(cls):
+    return cls
+
+
+@register_solution
+class HalfSolution:
+    name = "half"
+
+    def build(self, graph):
+        self._invalidate_batch()
+
+    def _invalidate_batch(self):
+        pass
+
+    def is_nonedge(self, u, v):
+        return False
+
+    def memory_bytes(self):
+        return 0

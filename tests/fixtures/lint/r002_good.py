@@ -1,0 +1,28 @@
+"""R002 good: the same solution with the full registered interface."""
+
+
+def register_solution(cls):
+    return cls
+
+
+@register_solution
+class FullSolution:
+    name = "full"
+
+    #: Static solution: mutations are handled by rebuilding.
+    supports_maintenance = False
+
+    def build(self, graph):
+        self._invalidate_batch()
+
+    def _invalidate_batch(self):
+        pass
+
+    def is_nonedge(self, u, v):
+        return False
+
+    def is_nonedge_batch(self, pairs_u, pairs_v=None):
+        return [False]
+
+    def memory_bytes(self):
+        return 0

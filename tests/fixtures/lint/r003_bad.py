@@ -1,0 +1,24 @@
+"""R003 bad: mutating methods that never drop the cached batch snapshot.
+
+Exactly the bug class the batched query pipeline had to guard against
+by hand: codes change but ``is_nonedge_batch`` keeps answering from the
+stale columnar snapshot.
+"""
+
+
+class VendSolution:
+    def _invalidate_batch(self):
+        pass
+
+
+class StaleSnapshotSolution(VendSolution):
+    name = "stale"
+
+    def build(self, graph):
+        self.codes = {v: v for v in graph}
+
+    def insert_edge(self, u, v, fetch):
+        self.codes[u] = v
+
+    def delete_edge(self, u, v, fetch):
+        self.codes.pop(u, None)

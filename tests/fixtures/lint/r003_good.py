@@ -1,0 +1,30 @@
+"""R003 good: every mutation invalidates (directly or via super())."""
+
+
+class VendSolution:
+    def _invalidate_batch(self):
+        pass
+
+
+class FreshSnapshotSolution(VendSolution):
+    name = "fresh"
+
+    def build(self, graph):
+        self._invalidate_batch()
+        self.codes = {v: v for v in graph}
+
+    def insert_edge(self, u, v, fetch):
+        self._invalidate_batch()
+        self.codes[u] = v
+
+    def delete_edge(self, u, v, fetch):
+        self._invalidate_batch()
+        self.codes.pop(u, None)
+
+
+class DerivedSolution(FreshSnapshotSolution):
+    def insert_edge(self, u, v, fetch):
+        super().insert_edge(u, v, fetch)
+
+    def delete_vertex(self, v, fetch):
+        self.build(None)

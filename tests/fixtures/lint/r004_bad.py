@@ -1,0 +1,13 @@
+"""R004 bad: unseeded randomness in benchmark-shaped code."""
+
+import random
+
+import numpy as np
+
+
+def sample_everything(items):
+    rng = np.random.default_rng()
+    value = random.random()
+    pick = random.Random()
+    legacy = np.random.rand(4)
+    return rng, value, pick, legacy, items

@@ -1,0 +1,13 @@
+"""R004 good: every RNG is explicitly seeded."""
+
+import random
+
+import numpy as np
+
+
+def sample_everything(items, seed=0):
+    rng = np.random.default_rng(seed)
+    pick = random.Random(seed)
+    value = pick.random()
+    draws = rng.uniform(size=4)
+    return rng, value, pick, draws, items

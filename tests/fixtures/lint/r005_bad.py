@@ -1,0 +1,29 @@
+"""R005 bad: bare excepts and swallowed corruption."""
+
+
+class CorruptRecordError(RuntimeError):
+    pass
+
+
+def read_all(records):
+    out = []
+    for blob in records:
+        try:
+            out.append(blob.decode())
+        except:
+            continue
+    return out
+
+
+def first_value(store):
+    try:
+        return store.get(1)
+    except CorruptRecordError:
+        return None
+
+
+def flush_quietly(store):
+    try:
+        store.flush()
+    except Exception:
+        pass

@@ -1,0 +1,30 @@
+"""R005 good: concrete exceptions; corruption propagates."""
+
+
+class CorruptRecordError(RuntimeError):
+    pass
+
+
+def read_all(records):
+    out = []
+    for blob in records:
+        try:
+            out.append(blob.decode())
+        except UnicodeDecodeError:
+            out.append("")
+    return out
+
+
+def first_value(store):
+    try:
+        return store.get(1)
+    except CorruptRecordError as exc:
+        store.mark_degraded()
+        raise RuntimeError("store is corrupt") from exc
+
+
+def flush_quietly(store, log):
+    try:
+        store.flush()
+    except OSError as exc:
+        log.warning("flush failed: %s", exc)

@@ -239,7 +239,7 @@ class TestMixedWorkload:
         s = build_hybrid(g, k=2)
         rng = random.Random(seed)
         vertices = sorted(g.vertices())
-        for step in range(200):
+        for _ in range(200):
             u, v = rng.sample(vertices, 2)
             if rng.random() < 0.5:
                 if g.add_edge(u, v):

@@ -1,0 +1,119 @@
+"""Tests for the VEND invariant linter (repro.devtools.linter).
+
+Each rule R001–R005 has a paired bad/good fixture under
+``tests/fixtures/lint/``; the bad file must produce exactly the
+expected (rule, line) findings and the corrected file none.  The suite
+also pins the acceptance criterion that the repo's own ``src/`` tree
+lints clean.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.devtools import Finding, lint_paths
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+SRC = Path(__file__).parent.parent / "src"
+
+
+def findings_of(path: Path) -> list[tuple[str, int]]:
+    return [(f.rule, f.line) for f in lint_paths([path])]
+
+
+@pytest.mark.parametrize("fixture, expected", [
+    ("core/r001_bad.py", [("R001", 11), ("R001", 15), ("R001", 22)]),
+    ("r002_bad.py", [("R002", 14), ("R002", 14)]),
+    ("r003_bad.py", [("R003", 17), ("R003", 20), ("R003", 23)]),
+    ("r004_bad.py", [("R004", 9), ("R004", 10), ("R004", 11), ("R004", 12)]),
+    ("r005_bad.py", [("R005", 13), ("R005", 21), ("R005", 28)]),
+])
+def test_bad_fixture_fires_exact_rules_and_lines(fixture, expected):
+    assert findings_of(FIXTURES / fixture) == expected
+
+
+@pytest.mark.parametrize("fixture", [
+    "core/r001_good.py", "r002_good.py", "r003_good.py",
+    "r004_good.py", "r005_good.py",
+])
+def test_good_fixture_is_silent(fixture):
+    assert findings_of(FIXTURES / fixture) == []
+
+
+def test_pragma_waives_the_flagged_line():
+    assert findings_of(FIXTURES / "core" / "pragma_waiver.py") == []
+
+
+def test_pragma_only_waives_the_named_rule(tmp_path):
+    bad = tmp_path / "core" / "wrong_pragma.py"
+    bad.parent.mkdir()
+    bad.write_text(
+        "import numpy as np\n"
+        "\n"
+        "def f(values):\n"
+        "    return np.asarray(values)  # lint: disable=R004 (wrong rule)\n"
+    )
+    assert findings_of(bad) == [("R001", 4)]
+
+
+def test_r001_only_applies_to_hot_paths(tmp_path):
+    cold = tmp_path / "viz" / "plots.py"
+    cold.parent.mkdir()
+    cold.write_text("import numpy as np\n\nx = np.asarray([1])\n")
+    assert findings_of(cold) == []
+
+
+def test_rule_subset_filter():
+    findings = lint_paths([FIXTURES / "r005_bad.py"], rules={"R004"})
+    assert findings == []
+
+
+def test_inherited_interface_satisfies_r002(tmp_path):
+    source = tmp_path / "derived.py"
+    source.write_text(
+        "def register_solution(cls):\n"
+        "    return cls\n"
+        "\n"
+        "class BaseImpl:\n"
+        "    supports_maintenance = False\n"
+        "    def build(self, g):\n"
+        "        self._invalidate_batch()\n"
+        "    def _invalidate_batch(self):\n"
+        "        pass\n"
+        "    def is_nonedge(self, u, v):\n"
+        "        return False\n"
+        "    def is_nonedge_batch(self, us, vs=None):\n"
+        "        return []\n"
+        "    def memory_bytes(self):\n"
+        "        return 0\n"
+        "\n"
+        "@register_solution\n"
+        "class Derived(BaseImpl):\n"
+        "    name = 'derived'\n"
+    )
+    assert findings_of(source) == []
+
+
+def test_syntax_error_is_reported_not_raised(tmp_path):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def f(:\n")
+    assert findings_of(broken) == [("R000", 1)]
+
+
+def test_finding_format_is_clickable():
+    finding = Finding("src/x.py", 3, 7, "R001", "msg")
+    assert finding.format() == "src/x.py:3:7: R001 msg"
+
+
+def test_repo_src_tree_lints_clean():
+    findings = lint_paths([SRC])
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+def test_cli_lint_exit_codes(capsys):
+    assert cli_main(["lint", str(SRC)]) == 0
+    assert "clean" in capsys.readouterr().out
+    assert cli_main(["lint", str(FIXTURES / "r005_bad.py")]) == 1
+    out = capsys.readouterr().out
+    assert "R005" in out and "finding" in out
