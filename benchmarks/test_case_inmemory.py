@@ -55,14 +55,15 @@ def test_inmemory_vs_disk_vend(once, tmp_path):
             ("disk + hyb+", None,
              make_solution("hyb+", K, graph, id_bits=paper_id_bits(DATASET))),
         ):
-            store.stats.reset()
+            io_before = store.stats.snapshot()
             engine = EdgeQueryEngine(store, filt)
             answers, elapsed = timed(
                 lambda e=engine: [e.has_edge(u, v) for u, v in pairs]
             )
             assert all(a == truth[p] for a, p in zip(answers, pairs))
             memory = filt.memory_bytes() if filt is not None else 0
-            outcome[label] = (memory, elapsed, store.stats.disk_reads)
+            disk_reads = int(store.stats.diff(io_before)["disk_reads"])
+            outcome[label] = (memory, elapsed, disk_reads)
         store.close()
         return outcome
 

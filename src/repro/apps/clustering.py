@@ -12,6 +12,7 @@ import time
 from dataclasses import dataclass
 
 from ..core.base import NonedgeFilter
+from ..obs import ReadReceipt
 from ..storage import GraphStore
 from .edge_query import EdgeQueryEngine
 
@@ -56,12 +57,12 @@ def average_clustering(store: GraphStore,
     """
     stats = ClusteringStats()
     engine = EdgeQueryEngine(store, nonedge_filter)
-    reads_before = store.stats.disk_reads
+    receipt = ReadReceipt()
     start = time.perf_counter()
     chosen = sorted(store.vertices()) if vertices is None else vertices
     total = 0.0
     for v in chosen:
-        neighbors = store.get_neighbors(v)
+        neighbors = store.get_neighbors(v, receipt=receipt)
         degree = len(neighbors)
         stats.vertices += 1
         if degree < 2:
@@ -75,6 +76,8 @@ def average_clustering(store: GraphStore,
     stats.coefficient = total / stats.vertices if stats.vertices else 0.0
     stats.edge_queries = engine.stats.total
     stats.filtered_queries = engine.stats.filtered
-    stats.disk_reads = store.stats.disk_reads - reads_before
+    # Our adjacency fetches plus our engine's physical reads — not a
+    # window over the shared store's counters.
+    stats.disk_reads = receipt.disk_reads + engine.stats.disk_served
     stats.elapsed_seconds = time.perf_counter() - start
     return stats

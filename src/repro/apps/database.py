@@ -20,6 +20,7 @@ from pathlib import Path
 from ..core import HybPlusVend, HybridVend, IdCapacityError
 from ..core.hybrid import HybridVend as _HybridBase
 from ..graph import Graph
+from ..obs import DatabaseStats, ReadReceipt
 from ..storage import GraphStore, StorageStats
 from .edge_query import EdgeQueryEngine, QueryStats
 
@@ -49,8 +50,21 @@ class VendGraphDB:
         self.store = GraphStore(path, cache_bytes=cache_bytes)
         self.vend: _HybridBase = _METHODS[method](k=k, id_bits=id_bits)
         self._engine = EdgeQueryEngine(self.store, self.vend)
-        self.index_rebuilds = 0
+        self.db_stats = DatabaseStats()
         self._built = False
+
+    def _fetch_for_maintenance(self, v: int) -> list[int]:
+        """Adjacency fetch booked to maintenance, not any query engine.
+
+        Index reconstruction (Section V-D) reads real adjacency lists;
+        routing those reads through a maintenance-scoped receipt keeps
+        them out of every engine's ``cache_served``/``disk_served``.
+        """
+        receipt = ReadReceipt()
+        neighbors = self.store.get_neighbors(v, receipt=receipt)
+        self.db_stats.inc("maintenance_reads", receipt.served)
+        self.db_stats.inc("maintenance_disk_reads", receipt.disk_reads)
+        return neighbors
 
     # -- loading -----------------------------------------------------------------
 
@@ -66,11 +80,11 @@ class VendGraphDB:
         for v in self.store.vertices():
             graph.add_vertex(v)
         for v in list(self.store.vertices()):
-            for u in self.store.get_neighbors(v):
+            for u in self._fetch_for_maintenance(v):
                 if u < v:
                     graph.add_edge(u, v)
         self.vend.build(graph)
-        self.index_rebuilds += 1
+        self.db_stats.inc("index_rebuilds")
         self._built = True
 
     # -- reads ------------------------------------------------------------------
@@ -78,6 +92,10 @@ class VendGraphDB:
     def has_edge(self, u: int, v: int) -> bool:
         """Edge query: VEND filter first, storage only when undecided."""
         return self._engine.has_edge(u, v)
+
+    def has_edge_batch(self, pairs_u, pairs_v=None):
+        """Vectorized edge queries through the batched engine pipeline."""
+        return self._engine.has_edge_batch(pairs_u, pairs_v)
 
     def neighbors(self, v: int) -> list[int]:
         """The stored adjacency list of ``v`` (a disk access)."""
@@ -112,7 +130,7 @@ class VendGraphDB:
             self.add_vertex(endpoint)
         if not self.store.insert_edge(u, v):
             return False
-        self.vend.insert_edge(u, v, self.store.get_neighbors)
+        self.vend.insert_edge(u, v, self._fetch_for_maintenance)
         return True
 
     def remove_edge(self, u: int, v: int) -> bool:
@@ -120,7 +138,7 @@ class VendGraphDB:
         self._require_built()
         if not self.store.delete_edge(u, v):
             return False
-        self.vend.delete_edge(u, v, self.store.get_neighbors)
+        self.vend.delete_edge(u, v, self._fetch_for_maintenance)
         return True
 
     def remove_vertex(self, v: int) -> bool:
@@ -130,7 +148,7 @@ class VendGraphDB:
             return False
         # Scrub the index first: its reconstruction fetches must still
         # see v's edges in storage.
-        self.vend.delete_vertex(v, self.store.get_neighbors)
+        self.vend.delete_vertex(v, self._fetch_for_maintenance)
         self.store.delete_vertex(v)
         return True
 
@@ -140,6 +158,16 @@ class VendGraphDB:
     def query_stats(self) -> QueryStats:
         """Edge-query traffic (filtered vs executed)."""
         return self._engine.stats
+
+    @property
+    def index_rebuilds(self) -> int:
+        """Full index rebuilds performed (ID capacity growth)."""
+        return self.db_stats.index_rebuilds
+
+    @property
+    def maintenance_reads(self) -> int:
+        """Adjacency fetches booked to index maintenance, not queries."""
+        return self.db_stats.maintenance_reads
 
     @property
     def storage_stats(self) -> StorageStats:

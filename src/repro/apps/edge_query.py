@@ -14,41 +14,26 @@ Two execution paths share the same statistics:
   array, survivors grouped by left endpoint, one deduplicated
   multi-get against storage, and membership answered by a single
   ``searchsorted`` sweep.  Prefer it whenever pairs arrive in bulk.
+
+Attribution is receipt-scoped: every storage call made on behalf of a
+query threads its own :class:`~repro.obs.ReadReceipt`, so an engine's
+``cache_served``/``disk_served`` counters book exactly the I/O *its*
+queries caused — never another engine's traffic or an index-maintenance
+fetch that happened to touch the same shared store (the historical
+diff-the-shared-globals pattern misattributed both).
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
 
 import numpy as np
 
 from ..core.base import NonedgeFilter, endpoint_arrays, nonedge_batch_mask
+from ..obs import QueryStats, ReadReceipt, default_tracer
 from ..storage import GraphStore
 
 __all__ = ["QueryStats", "EdgeQueryEngine"]
-
-
-@dataclass
-class QueryStats:
-    """Aggregate outcome of a query batch."""
-
-    total: int = 0
-    filtered: int = 0      # answered "no edge" by the NDF alone
-    executed: int = 0      # required a storage lookup
-    positives: int = 0     # edges that actually existed
-    cache_served: int = 0  # executed lookups absorbed by the block cache
-    disk_served: int = 0   # executed lookups that paid a physical read
-    degraded: bool = False  # storage reported IO faults during the batch
-    elapsed_seconds: float = 0.0
-
-    @property
-    def filter_rate(self) -> float:
-        return self.filtered / self.total if self.total else 0.0
-
-    def reset(self) -> None:
-        for name in self.__dataclass_fields__:
-            setattr(self, name, type(getattr(self, name))())
 
 
 class EdgeQueryEngine:
@@ -68,25 +53,40 @@ class EdgeQueryEngine:
                  nonedge_filter: NonedgeFilter | None = None):
         self.store = store
         self.nonedge_filter = nonedge_filter
-        self.stats = QueryStats()
+        self.stats = QueryStats(store=store)
+        registry = self.stats.registry
+        self._latency = registry.histogram(
+            "repro_query_latency_seconds",
+            "Wall-clock latency of engine query calls",
+        )
+
+    def _observe_latency(self, path: str, seconds: float) -> None:
+        self._latency.labels(engine=self.stats.scope, path=path).observe(
+            seconds)
 
     def has_edge(self, u: int, v: int) -> bool:
         """One edge query: NDF first, storage only when undetermined."""
-        self.stats.total += 1
-        if self.nonedge_filter is not None and self.nonedge_filter.is_nonedge(u, v):
-            self.stats.filtered += 1
-            return False
-        self.stats.executed += 1
-        storage = self.store.stats
-        hits_before, reads_before = storage.cache_hits, storage.disk_reads
-        exists = self.store.has_edge(u, v)
-        self.stats.cache_served += storage.cache_hits - hits_before
-        self.stats.disk_served += storage.disk_reads - reads_before
-        if getattr(self.store, "degraded", False):
-            self.stats.degraded = True
-        if exists:
-            self.stats.positives += 1
-        return exists
+        tracer = default_tracer()
+        start = time.perf_counter()
+        try:
+            with tracer.span("query", engine=self.stats.scope):
+                self.stats.inc("total")
+                if self.nonedge_filter is not None:
+                    with tracer.span("ndf_filter"):
+                        certain = self.nonedge_filter.is_nonedge(u, v)
+                    if certain:
+                        self.stats.inc("filtered")
+                        return False
+                self.stats.inc("executed")
+                receipt = ReadReceipt()
+                exists = self.store.has_edge(u, v, receipt=receipt)
+                self.stats.inc("cache_served", receipt.cache_hits)
+                self.stats.inc("disk_served", receipt.disk_reads)
+                if exists:
+                    self.stats.inc("positives")
+                return exists
+        finally:
+            self._observe_latency("scalar", time.perf_counter() - start)
 
     def has_edge_batch(self, pairs_u, pairs_v=None) -> np.ndarray:
         """Answer a pair batch through the vectorized pipeline.
@@ -98,43 +98,51 @@ class EdgeQueryEngine:
         multi-get, ``cache_served + disk_served`` may be smaller than
         ``executed`` — that gap is exactly the I/O batching saved.
         """
-        us, vs = endpoint_arrays(pairs_u, pairs_v)
-        n = len(us)
-        self.stats.total += n
-        answers = np.zeros(n, dtype=bool)
-        if n == 0:
+        tracer = default_tracer()
+        start = time.perf_counter()
+        try:
+            return self._has_edge_batch(tracer, pairs_u, pairs_v)
+        finally:
+            self._observe_latency("batch", time.perf_counter() - start)
+
+    def _has_edge_batch(self, tracer, pairs_u, pairs_v) -> np.ndarray:
+        with tracer.span("query_batch", engine=self.stats.scope):
+            us, vs = endpoint_arrays(pairs_u, pairs_v)
+            n = len(us)
+            self.stats.inc("total", n)
+            answers = np.zeros(n, dtype=bool)
+            if n == 0:
+                return answers
+            if self.nonedge_filter is not None:
+                with tracer.span("ndf_filter"):
+                    certain = nonedge_batch_mask(self.nonedge_filter, us, vs)
+                self.stats.inc("filtered", int(certain.sum()))
+                survivors = ~certain
+            else:
+                survivors = np.ones(n, dtype=bool)
+            count = int(survivors.sum())
+            if count:
+                self.stats.inc("executed", count)
+                receipt = ReadReceipt()
+                exists = self.store.has_edge_many(
+                    us[survivors], vs[survivors], receipt=receipt)
+                self.stats.inc("cache_served", receipt.cache_hits)
+                self.stats.inc("disk_served", receipt.disk_reads)
+                self.stats.inc("positives", int(exists.sum()))
+                answers[survivors] = exists
             return answers
-        if self.nonedge_filter is not None:
-            certain = nonedge_batch_mask(self.nonedge_filter, us, vs)
-            self.stats.filtered += int(certain.sum())
-            survivors = ~certain
-        else:
-            survivors = np.ones(n, dtype=bool)
-        count = int(survivors.sum())
-        if count:
-            self.stats.executed += count
-            storage = self.store.stats
-            hits_before, reads_before = storage.cache_hits, storage.disk_reads
-            exists = self.store.has_edge_many(us[survivors], vs[survivors])
-            self.stats.cache_served += storage.cache_hits - hits_before
-            self.stats.disk_served += storage.disk_reads - reads_before
-            if getattr(self.store, "degraded", False):
-                self.stats.degraded = True
-            self.stats.positives += int(exists.sum())
-            answers[survivors] = exists
-        return answers
 
     def run(self, pairs: list[tuple[int, int]]) -> QueryStats:
         """Answer a batch one pair at a time (scalar reference path)."""
         start = time.perf_counter()
         for u, v in pairs:
             self.has_edge(u, v)
-        self.stats.elapsed_seconds += time.perf_counter() - start
+        self.stats.inc("elapsed_seconds", time.perf_counter() - start)
         return self.stats
 
     def run_batch(self, pairs, pairs_v=None) -> QueryStats:
         """Answer a batch through the vectorized pipeline, timed."""
         start = time.perf_counter()
         self.has_edge_batch(pairs, pairs_v)
-        self.stats.elapsed_seconds += time.perf_counter() - start
+        self.stats.inc("elapsed_seconds", time.perf_counter() - start)
         return self.stats

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from ..core.base import NonedgeFilter
 from ..graph import Graph
+from ..obs import ReadReceipt
 from ..storage import GraphStore
 from .edge_query import EdgeQueryEngine
 
@@ -67,13 +68,17 @@ class SubgraphMatcher:
         order = self._binding_order(pattern)
         stats = MatchStats()
         start = time.perf_counter()
-        reads_before = self.store.stats.disk_reads
-        self.engine.stats.reset()
+        engine_before = self.engine.stats.snapshot()
+        receipt = ReadReceipt()
         binding: dict[int, int] = {}
-        self._extend(pattern, order, 0, binding, stats)
-        stats.edge_queries = self.engine.stats.total
-        stats.filtered_queries = self.engine.stats.filtered
-        stats.disk_reads = self.store.stats.disk_reads - reads_before
+        self._extend(pattern, order, 0, binding, stats, receipt)
+        delta = self.engine.stats.diff(engine_before)
+        stats.edge_queries = int(delta["total"])
+        stats.filtered_queries = int(delta["filtered"])
+        # Candidate-list fetches (our receipt) plus the physical reads
+        # the engine's verification queries paid — nothing anyone else
+        # did to the shared store in the meantime.
+        stats.disk_reads = receipt.disk_reads + int(delta["disk_served"])
         stats.elapsed_seconds = time.perf_counter() - start
         return stats
 
@@ -98,7 +103,8 @@ class SubgraphMatcher:
         return order
 
     def _extend(self, pattern: Graph, order: list[int], depth: int,
-                binding: dict[int, int], stats: MatchStats) -> None:
+                binding: dict[int, int], stats: MatchStats,
+                receipt: ReadReceipt) -> None:
         if depth == len(order):
             stats.embeddings += 1
             return
@@ -108,7 +114,7 @@ class SubgraphMatcher:
             candidates = sorted(self.store.vertices())
         else:
             anchor = binding[bound_neighbors[0]]
-            candidates = self.store.get_neighbors(anchor)
+            candidates = self.store.get_neighbors(anchor, receipt=receipt)
         used = set(binding.values())
         survivors = [c for c in candidates if c not in used]
         # Verify every other pattern edge into the bound prefix with one
@@ -126,5 +132,5 @@ class SubgraphMatcher:
                 survivors = [c for c, ok in zip(survivors, answers) if ok]
         for candidate in survivors:
             binding[pv] = candidate
-            self._extend(pattern, order, depth + 1, binding, stats)
+            self._extend(pattern, order, depth + 1, binding, stats, receipt)
             del binding[pv]

@@ -25,6 +25,7 @@ from pathlib import Path
 import numpy as np
 
 from ..core.base import NonedgeFilter, nonedge_batch_mask
+from ..obs import ReadReceipt
 from ..storage import GraphStore
 
 __all__ = ["TriangleStats", "edge_iterator_count", "trigon_count"]
@@ -60,9 +61,9 @@ def edge_iterator_count(store: GraphStore,
     """
     stats = TriangleStats()
     start = time.perf_counter()
-    reads_before = store.stats.disk_reads
+    receipt = ReadReceipt()
     for i in sorted(store.vertices()):
-        adj_i = store.get_neighbors_array(i)
+        adj_i = store.get_neighbors_array(i, receipt=receipt)
         bigger = adj_i[adj_i > i]
         m = len(bigger)
         if m < 2:
@@ -82,7 +83,7 @@ def edge_iterator_count(store: GraphStore,
         if len(active_rows) == 0:
             continue
         adjacency = store.get_neighbors_many(
-            [int(j) for j in bigger[active_rows]]
+            [int(j) for j in bigger[active_rows]], receipt=receipt
         )
         for r in active_rows:
             adj_j = adjacency[int(bigger[r])]
@@ -91,18 +92,20 @@ def edge_iterator_count(store: GraphStore,
             wanted = bigger[r + 1:]
             pos = np.minimum(adj_j.searchsorted(wanted), len(adj_j) - 1)
             stats.triangles += int(np.count_nonzero(adj_j[pos] == wanted))
-    stats.disk_reads = store.stats.disk_reads - reads_before
+    stats.disk_reads = receipt.disk_reads
     stats.elapsed_seconds = time.perf_counter() - start
     return stats
 
 
-def _partition_bounds(store: GraphStore, num_partitions: int) -> list[int]:
+def _partition_bounds(store: GraphStore, num_partitions: int,
+                      receipt: ReadReceipt | None = None) -> list[int]:
     """Destination-interval boundaries with balanced edge counts."""
     vertices = sorted(store.vertices())
     max_id = vertices[-1] if vertices else 0
     if num_partitions <= 1:
         return [0, max_id + 1]
-    degrees = [(v, len(store.get_neighbors(v))) for v in vertices]
+    degrees = [(v, len(store.get_neighbors(v, receipt=receipt)))
+               for v in vertices]
     total = sum(d for _, d in degrees)
     per_partition = max(1, total // num_partitions)
     bounds = [0]
@@ -136,11 +139,12 @@ def trigon_count(store: GraphStore, workdir: str | Path,
     workdir.mkdir(parents=True, exist_ok=True)
     stats = TriangleStats()
     start = time.perf_counter()
-    reads_before = store.stats.disk_reads
+    receipt = ReadReceipt()
 
-    total_degree = sum(len(store.get_neighbors(v)) for v in store.vertices())
+    total_degree = sum(len(store.get_neighbors(v, receipt=receipt))
+                       for v in store.vertices())
     num_partitions = max(1, -(-total_degree // (2 * memory_budget_edges)))
-    bounds = _partition_bounds(store, num_partitions)
+    bounds = _partition_bounds(store, num_partitions, receipt=receipt)
     num_partitions = len(bounds) - 1
     stats.extra["partitions"] = num_partitions
 
@@ -151,7 +155,7 @@ def trigon_count(store: GraphStore, workdir: str | Path,
                   for p in range(num_partitions)]
     try:
         for i in sorted(store.vertices()):
-            adj_i = store.get_neighbors_array(i)
+            adj_i = store.get_neighbors_array(i, receipt=receipt)
             # Partition i's adjacency by destination interval: sorted
             # input makes each interval one searchsorted slice.
             for p in range(num_partitions):
@@ -220,6 +224,6 @@ def trigon_count(store: GraphStore, workdir: str | Path,
             if neighbors_in_p:
                 stats.triangles += sum(1 for k in block if k in neighbors_in_p)
 
-    stats.disk_reads = store.stats.disk_reads - reads_before
+    stats.disk_reads = receipt.disk_reads
     stats.elapsed_seconds = time.perf_counter() - start
     return stats

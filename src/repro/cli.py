@@ -9,10 +9,15 @@ Commands cover the basic operational loop of a VEND deployment:
 - ``query`` — run one NEpair determination;
 - ``score`` — evaluate the VEND score on a sampled workload;
 - ``analyze`` — index statistics and per-pair-class score breakdown;
-- ``lint`` — the VEND invariant linter (rules R001–R005, DESIGN.md §9);
+- ``lint`` — the VEND invariant linter (rules R001–R006, DESIGN.md §9);
 - ``audit`` — seeded differential soundness sweep over registered
   solutions (zero false no-edge verdicts, scalar/batch agreement,
-  post-maintenance validity).
+  post-maintenance validity);
+- ``stats`` — run a seeded end-to-end workload and export every
+  counter from the metrics registry (text, ``--json``, or
+  ``--prometheus``);
+- ``trace`` — the same workload with the span tracer enabled,
+  printing the ``query → ndf_filter → storage_get → cache`` trees.
 """
 
 from __future__ import annotations
@@ -89,7 +94,7 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--seed", type=int, default=0)
 
     lint = commands.add_parser(
-        "lint", help="run the VEND invariant linter (R001-R005)"
+        "lint", help="run the VEND invariant linter (R001-R006)"
     )
     lint.add_argument("paths", nargs="*", default=["src"],
                       help="files or directories to lint (default: src)")
@@ -110,6 +115,36 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--updates", type=int, default=50)
     audit.add_argument("--no-maintenance", action="store_true",
                        help="skip the insert+delete maintenance phase")
+
+    def add_workload_args(sub) -> None:
+        sub.add_argument("--vertices", type=int, default=300)
+        sub.add_argument("--avg-degree", type=float, default=8.0)
+        sub.add_argument("--k", type=int, default=6)
+        sub.add_argument("--method", choices=["hybrid", "hyb+"],
+                         default="hyb+")
+        sub.add_argument("--pairs", type=int, default=2000)
+        sub.add_argument("--updates", type=int, default=50)
+        sub.add_argument("--cache-bytes", type=int, default=1 << 16)
+        sub.add_argument("--seed", type=int, default=0)
+
+    stats = commands.add_parser(
+        "stats", help="run a seeded workload and export all metrics"
+    )
+    add_workload_args(stats)
+    fmt = stats.add_mutually_exclusive_group()
+    fmt.add_argument("--json", action="store_true",
+                     help="emit the registry as JSON")
+    fmt.add_argument("--prometheus", action="store_true",
+                     help="emit Prometheus text exposition format")
+
+    trace = commands.add_parser(
+        "trace", help="run a seeded workload with span tracing enabled"
+    )
+    add_workload_args(trace)
+    trace.add_argument("--json", action="store_true",
+                       help="emit traces as JSON")
+    trace.add_argument("--limit", type=int, default=5,
+                       help="number of most recent root traces to print")
 
     return parser
 
@@ -246,6 +281,70 @@ def _cmd_audit(args) -> int:
     return 0
 
 
+def _obs_workload(args) -> None:
+    """One seeded end-to-end pass that exercises every counter family.
+
+    Builds a power-law graph in an in-memory :class:`VendGraphDB`,
+    answers half the pair workload through the scalar path and half
+    through the batched pipeline, then applies a few edge updates so
+    maintenance counters (and ``maintenance_reads``) move too.
+    """
+    from .apps import VendGraphDB
+    from .graph import powerlaw_graph
+
+    graph = powerlaw_graph(args.vertices, args.avg_degree, seed=args.seed)
+    db = VendGraphDB(k=args.k, method=args.method,
+                     cache_bytes=args.cache_bytes)
+    db.load_graph(graph)
+    edges = sorted(graph.edges())[:args.updates]
+    for u, v in edges:
+        db.remove_edge(u, v)
+    for u, v in edges:
+        db.add_edge(u, v)
+    pairs = random_pairs(graph, args.pairs, seed=args.seed)
+    half = len(pairs) // 2
+    for u, v in pairs[:half]:
+        db.has_edge(u, v)
+    if pairs[half:]:
+        db.has_edge_batch(pairs[half:])
+
+
+def _cmd_stats(args) -> int:
+    from .obs import default_registry
+
+    registry = default_registry()
+    _obs_workload(args)
+    if args.json:
+        import json
+
+        print(json.dumps(registry.to_json(), indent=2))
+        return 0
+    if args.prometheus:
+        print(registry.to_prometheus(), end="")
+        return 0
+    for name, value in sorted(registry.snapshot().items()):
+        print(f"{name} {value}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .obs import default_tracer
+
+    tracer = default_tracer()
+    tracer.enabled = True
+    try:
+        _obs_workload(args)
+    finally:
+        tracer.enabled = False
+    if args.json:
+        import json
+
+        print(json.dumps(tracer.to_json(limit=args.limit), indent=2))
+        return 0
+    print(tracer.format_traces(limit=args.limit), end="")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "build": _cmd_build,
@@ -255,6 +354,8 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "lint": _cmd_lint,
     "audit": _cmd_audit,
+    "stats": _cmd_stats,
+    "trace": _cmd_trace,
 }
 
 

@@ -39,11 +39,10 @@ Three documented deviations from the paper's sketch (see DESIGN.md):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from ..graph import Graph, peel
+from ..obs import MaintenanceStats
 from .base import NeighborFetch, VendSolution, endpoint_arrays, register_solution
 from .bitvector import BitVector
 from .blocks import (
@@ -63,23 +62,6 @@ class IdCapacityError(RuntimeError):
     The paper amortizes this over graph-doubling (Section V-D3): when
     raised, call :meth:`HybridVend.build` against the current graph.
     """
-
-
-@dataclass
-class MaintenanceStats:
-    """Counters for update-path behaviour (reported by the Fig. 10 bench)."""
-
-    inserts_noop: int = 0        # F(u,v) was already 0
-    inserts_fast: int = 0        # appended into an unfilled decodable code
-    inserts_rebuild: int = 0     # one vector re-encoded
-    deletes_noop: int = 0
-    deletes_rebuild: int = 0     # vectors re-encoded on deletion
-    vertex_rebuilds: int = 0
-    alpha_demotions: int = 0     # α-complete bits cleared on conversions
-
-    def reset(self) -> None:
-        for name in self.__dataclass_fields__:
-            setattr(self, name, 0)
 
 
 @register_solution
@@ -114,7 +96,7 @@ class HybridVend(VendSolution):
         super().__init__(k, int_bits)
         self._requested_id_bits = id_bits
         self.selection_budget = selection_budget
-        self.stats = MaintenanceStats()
+        self.stats = MaintenanceStats(method=self.name)
         self._codes: dict[int, BitVector] = {}
         self._max_id = 0
         # Layout fields; finalized by _configure_layout at build time.
@@ -391,7 +373,7 @@ class HybridVend(VendSolution):
         self.insert_vertex(u)
         self.insert_vertex(v)
         if not self.is_nonedge(u, v):
-            self.stats.inserts_noop += 1
+            self.stats.inc("inserts_noop")
             return
         cu, cv = self._codes[u], self._codes[v]
         u_dec, v_dec = cu.get_bit(0) == 0, cv.get_bit(0) == 0
@@ -403,7 +385,7 @@ class HybridVend(VendSolution):
                 self._codes[owner] = self._encode_decodable(
                     ids + [other], alpha=alpha
                 )
-                self.stats.inserts_fast += 1
+                self.stats.inc("inserts_fast")
                 return
         if u_dec and v_dec:  # both full decodable: rebuild the better one
             ids_u = self.decoded_ids(u)
@@ -430,7 +412,7 @@ class HybridVend(VendSolution):
                 self._codes[u] = cand_u
             else:
                 self._codes[v] = cand_v
-        self.stats.inserts_rebuild += 1
+        self.stats.inc("inserts_rebuild")
         self._demote_lingering_claims(u, v)
 
     def delete_edge(self, u: int, v: int, fetch: NeighborFetch) -> None:
@@ -453,9 +435,9 @@ class HybridVend(VendSolution):
                 self._install_complete(owner, ids)
                 rebuilt += 1
         if rebuilt:
-            self.stats.deletes_rebuild += rebuilt
+            self.stats.inc("deletes_rebuild", rebuilt)
         else:
-            self.stats.deletes_noop += 1
+            self.stats.inc("deletes_noop")
 
     def delete_vertex(self, v: int, fetch: NeighborFetch) -> None:
         """Clear ``f^hyb(v)`` and scrub ``v`` from affected neighbors."""
@@ -472,11 +454,11 @@ class HybridVend(VendSolution):
                     ids.remove(v)
                     alpha = bool(code.get_bit(self._EXACT_BIT))
                     self._codes[u] = self._encode_decodable(ids, alpha=alpha)
-                    self.stats.vertex_rebuilds += 1
+                    self.stats.inc("vertex_rebuilds")
             elif not self.ne_test(v, code):
                 ids = [w for w in fetch(u) if w != v]
                 self._install_complete(u, ids)
-                self.stats.vertex_rebuilds += 1
+                self.stats.inc("vertex_rebuilds")
         del self._codes[v]
 
     # -- maintenance internals ----------------------------------------------------
@@ -510,7 +492,7 @@ class HybridVend(VendSolution):
                 recorded = not self.ne_test(owner, code_w)
             if not recorded:
                 code_w.set_bit(self._EXACT_BIT, 0)
-                self.stats.alpha_demotions += 1
+                self.stats.inc("alpha_demotions")
 
     def _demote_lingering_claims(self, u: int, v: int) -> None:
         """Final insertion step: while any one-sided exact test still
@@ -522,7 +504,7 @@ class HybridVend(VendSolution):
                 code = self._codes[owner]
                 if code.get_bit(self._EXACT_BIT) and self.ne_test(other, code):
                     code.set_bit(self._EXACT_BIT, 0)
-                    self.stats.alpha_demotions += 1
+                    self.stats.inc("alpha_demotions")
                     break
             else:
                 raise RuntimeError(

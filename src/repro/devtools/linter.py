@@ -25,6 +25,11 @@ R004 seeded-randomness      unseeded ``np.random.*`` / ``random.*`` usage, which
                             breaks benchmark and fault-injection reproducibility
 R005 unsafe-exception       bare ``except:``, swallowed ``CorruptRecordError``,
                             and ``except Exception: pass``
+R006 counter-registry       direct mutation of a stats-holder field
+                            (``self.stats.x += 1``) outside ``repro.obs``;
+                            counters must go through the registry views
+                            (``self.stats.inc("x")``) so exports and scoped
+                            attribution stay correct
 ==== =====================  =====================================================
 
 Intentional violations are waived inline with a pragma on the flagged
@@ -50,6 +55,7 @@ RULES = {
     "R003": "cache-invalidation",
     "R004": "seeded-randomness",
     "R005": "unsafe-exception",
+    "R006": "counter-registry",
 }
 
 #: Path components whose files count as dtype-sensitive hot paths (R001).
@@ -62,6 +68,14 @@ MUTATORS = frozenset(
 
 #: The interface every registered solution must expose (R002).
 REQUIRED_METHODS = ("build", "is_nonedge", "memory_bytes", "is_nonedge_batch")
+
+#: ``self.<holder>.<field>`` attribute names treated as registry-backed
+#: counter holders (R006).  Local result records (``stats.x = ...`` on a
+#: plain variable) are deliberately not flagged.
+STATS_HOLDERS = frozenset({
+    "stats", "fault_stats", "query_stats", "storage_stats", "db_stats",
+    "_stats",
+})
 
 _PRAGMA = re.compile(r"#\s*lint:\s*disable=([A-Z0-9,\s]+?)(?:\s*\(|$)")
 
@@ -305,6 +319,8 @@ class Linter:
             findings.extend(self._rule_seeded_randomness(ctx))
         if "R005" in self.rules:
             findings.extend(self._rule_exceptions(ctx))
+        if "R006" in self.rules and "obs" not in Path(ctx.path).parts:
+            findings.extend(self._rule_counter_mutation(ctx))
         return [
             f for f in findings
             if f.rule not in ctx.pragmas.get(f.line, ())
@@ -593,6 +609,41 @@ class Linter:
             if name:
                 names.add(name)
         return names
+
+    # -- R006 ------------------------------------------------------------------
+
+    def _rule_counter_mutation(self, ctx: _FileContext) -> list[Finding]:
+        """Counters must be mutated through the obs registry views.
+
+        Flags ``self.<holder>.<field> += ...`` and direct assignment to
+        the same shape, where ``<holder>`` is a known stats attribute.
+        The registry views themselves (``repro/obs/``) are the one
+        place allowed to touch series storage.
+        """
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.AugAssign):
+                targets = [node.target]
+            elif isinstance(node, ast.Assign):
+                targets = node.targets
+            else:
+                continue
+            for target in targets:
+                if not (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Attribute)
+                        and isinstance(target.value.value, ast.Name)
+                        and target.value.value.id == "self"
+                        and target.value.attr in STATS_HOLDERS):
+                    continue
+                holder, fld = target.value.attr, target.attr
+                findings.append(Finding(
+                    ctx.path, node.lineno, node.col_offset, "R006",
+                    f"counter `self.{holder}.{fld}` mutated directly; go "
+                    f'through the registry view (`self.{holder}.inc('
+                    f'"{fld}")`) so exports and per-scope attribution stay '
+                    "correct",
+                ))
+        return findings
 
     @staticmethod
     def _is_silent(handler: ast.ExceptHandler) -> bool:

@@ -1,0 +1,363 @@
+"""The metrics registry — named counters, gauges, and histograms.
+
+Every counter in the repo (storage I/O, query traffic, cache churn,
+VEND maintenance work, fault-injection activity) is a labeled series
+in one :class:`MetricsRegistry`, so the numbers that drive the paper's
+evaluation (Fig. 9 query time, Fig. 10 maintenance cost, Table 2 index
+size) come from a single, exportable place instead of five ad-hoc
+objects.  The public stats dataclass-style objects
+(:class:`~repro.obs.views.StorageStats`,
+:class:`~repro.obs.views.QueryStats`, …) are thin views over series
+registered here.
+
+Naming scheme (DESIGN.md §10): ``repro_<layer>_<noun>_total`` for
+counters, ``repro_<layer>_<noun>`` for gauges and
+``repro_<layer>_<noun>_seconds`` for latency histograms.  Each
+instrumented instance owns one label (``store="store0"``,
+``engine="engine1"``, …) allocated by :meth:`MetricsRegistry.scope`,
+which is what keeps two engines sharing one store from ever mixing
+their series.
+
+Export: :meth:`MetricsRegistry.to_json` (one JSON document),
+:meth:`MetricsRegistry.to_prometheus` (Prometheus text exposition
+format), and the :meth:`MetricsRegistry.snapshot` /
+:meth:`MetricsRegistry.diff` pair the bench harness uses for scoped
+before/after deltas.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "default_registry",
+]
+
+#: Latency histogram bounds (seconds): 100 µs … 2.5 s, then +Inf.
+DEFAULT_BUCKETS = (0.000_1, 0.000_25, 0.000_5, 0.001, 0.002_5, 0.005,
+                   0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5)
+
+_METRIC_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_LABEL_NAME = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", r"\\")
+                 .replace("\n", r"\n")
+                 .replace('"', r'\"'))
+
+
+def _format_labels(labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in labels)
+    return "{" + body + "}"
+
+
+def _format_bound(bound: float) -> str:
+    return "+Inf" if bound == float("inf") else f"{bound:g}"
+
+
+class CounterSeries:
+    """One labeled counter time series (monotonic until :meth:`set`)."""
+
+    __slots__ = ("labels", "value")
+
+    def __init__(self, labels: tuple[tuple[str, str], ...]):
+        self.labels = labels
+        self.value: int | float = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only move forward; use a gauge")
+        self.value += amount
+
+    def set(self, value: int | float) -> None:
+        """Direct write — exists for view resets and legacy callers."""
+        self.value = value
+
+
+class GaugeSeries:
+    """One labeled gauge time series (free to move both ways)."""
+
+    __slots__ = ("labels", "value")
+
+    def __init__(self, labels: tuple[tuple[str, str], ...]):
+        self.labels = labels
+        self.value: int | float = 0
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+
+class HistogramSeries:
+    """One labeled histogram: bounded buckets plus sum and count."""
+
+    __slots__ = ("labels", "bounds", "bucket_counts", "total", "count")
+
+    def __init__(self, labels: tuple[tuple[str, str], ...],
+                 bounds: tuple[float, ...]):
+        self.labels = labels
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # final slot: +Inf
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        # First bound >= value, or the +Inf slot when none qualifies.
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, +Inf last."""
+        out = []
+        acc = 0
+        for bound, bucket in zip((*self.bounds, float("inf")),
+                                 self.bucket_counts):
+            acc += bucket
+            out.append((bound, acc))
+        return out
+
+
+class _Metric:
+    """A named metric family: one series per distinct label set."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str = ""):
+        if not _METRIC_NAME.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help_text
+        self._series: dict[tuple[tuple[str, str], ...], object] = {}
+        self._lock = threading.Lock()
+
+    def _make_series(self, labels: tuple[tuple[str, str], ...]):
+        raise NotImplementedError
+
+    def labels(self, **labels: str):
+        """Get-or-create the series bound to this exact label set."""
+        for key in labels:
+            if not _LABEL_NAME.match(key):
+                raise ValueError(f"invalid label name {key!r}")
+        key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        series = self._series.get(key)
+        if series is None:
+            with self._lock:
+                series = self._series.setdefault(key, self._make_series(key))
+        return series
+
+    def series(self) -> list:
+        return [self._series[key] for key in sorted(self._series)]
+
+
+class Counter(_Metric):
+    kind = "counter"
+
+    def _make_series(self, labels) -> CounterSeries:
+        return CounterSeries(labels)
+
+    def inc(self, amount: int | float = 1, **labels: str) -> None:
+        self.labels(**labels).inc(amount)
+
+    def value(self, **labels: str) -> int | float:
+        return self.labels(**labels).value
+
+    def total(self) -> int | float:
+        return sum(s.value for s in self._series.values())
+
+
+class Gauge(_Metric):
+    kind = "gauge"
+
+    def _make_series(self, labels) -> GaugeSeries:
+        return GaugeSeries(labels)
+
+    def set(self, value: int | float, **labels: str) -> None:
+        self.labels(**labels).set(value)
+
+    def value(self, **labels: str) -> int | float:
+        return self.labels(**labels).value
+
+
+class Histogram(_Metric):
+    kind = "histogram"
+
+    def __init__(self, name: str, help_text: str = "",
+                 buckets: tuple[float, ...] = DEFAULT_BUCKETS):
+        super().__init__(name, help_text)
+        cleaned = tuple(sorted(float(b) for b in buckets))
+        if not cleaned:
+            raise ValueError("a histogram needs at least one finite bucket")
+        self.buckets = cleaned
+
+    def _make_series(self, labels) -> HistogramSeries:
+        return HistogramSeries(labels, self.buckets)
+
+    def observe(self, value: float, **labels: str) -> None:
+        self.labels(**labels).observe(value)
+
+
+class MetricsRegistry:
+    """Process-wide home for every metric family.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create by name, so
+    every ``GraphStore`` shares the ``repro_storage_disk_reads_total``
+    family while owning its private ``store=<scope>`` series.
+    """
+
+    def __init__(self):
+        self._metrics: dict[str, _Metric] = {}
+        self._scope_counts: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    # -- registration ------------------------------------------------------
+
+    def _get_or_create(self, cls, name: str, help_text: str, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(name)
+                if metric is None:
+                    metric = cls(name, help_text, **kwargs)
+                    self._metrics[name] = metric
+        if not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} is already registered as {metric.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help_text)
+
+    def histogram(self, name: str, help_text: str = "",
+                  buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get_or_create(Histogram, name, help_text,
+                                   buckets=buckets)
+
+    def scope(self, prefix: str) -> str:
+        """A fresh instance label value: ``store0``, ``store1``, …"""
+        with self._lock:
+            n = self._scope_counts.get(prefix, 0)
+            self._scope_counts[prefix] = n + 1
+        return f"{prefix}{n}"
+
+    def metrics(self) -> list[_Metric]:
+        return [self._metrics[name] for name in sorted(self._metrics)]
+
+    # -- snapshot / diff ---------------------------------------------------
+
+    def snapshot(self) -> dict[str, int | float]:
+        """Flat ``name{labels} -> value`` view of every series.
+
+        Histograms contribute their ``_sum`` and ``_count`` series so
+        deltas over a workload window stay meaningful.
+        """
+        out: dict[str, int | float] = {}
+        for metric in self.metrics():
+            for series in metric.series():
+                labels = _format_labels(series.labels)
+                if metric.kind == "histogram":
+                    out[f"{metric.name}_sum{labels}"] = series.total
+                    out[f"{metric.name}_count{labels}"] = series.count
+                else:
+                    out[f"{metric.name}{labels}"] = series.value
+        return out
+
+    @staticmethod
+    def diff(before: dict[str, int | float],
+             after: dict[str, int | float] | None = None,
+             *, registry: "MetricsRegistry | None" = None) -> dict:
+        """Per-series delta between two snapshots (zero deltas dropped)."""
+        if after is None:
+            after = (registry or default_registry()).snapshot()
+        keys = set(before) | set(after)
+        deltas = {}
+        for key in sorted(keys):
+            delta = after.get(key, 0) - before.get(key, 0)
+            if delta:
+                deltas[key] = delta
+        return deltas
+
+    def reset(self) -> None:
+        """Zero every registered series (tests and long-lived sessions)."""
+        for metric in self.metrics():
+            for series in metric.series():
+                if isinstance(series, HistogramSeries):
+                    series.bucket_counts = [0] * len(series.bucket_counts)
+                    series.total = 0.0
+                    series.count = 0
+                else:
+                    series.set(0)
+
+    # -- export ------------------------------------------------------------
+
+    def to_json(self) -> dict:
+        """One JSON-serializable document covering the full registry."""
+        families = []
+        for metric in self.metrics():
+            series_out = []
+            for series in metric.series():
+                entry: dict = {"labels": dict(series.labels)}
+                if metric.kind == "histogram":
+                    entry["buckets"] = [
+                        [_format_bound(bound), count]
+                        for bound, count in series.cumulative_buckets()
+                    ]
+                    entry["sum"] = series.total
+                    entry["count"] = series.count
+                else:
+                    entry["value"] = series.value
+                series_out.append(entry)
+            families.append({
+                "name": metric.name,
+                "type": metric.kind,
+                "help": metric.help,
+                "series": series_out,
+            })
+        return {"metrics": families}
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        for metric in self.metrics():
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            for series in metric.series():
+                base = dict(series.labels)
+                if metric.kind == "histogram":
+                    for bound, count in series.cumulative_buckets():
+                        labels = _format_labels(tuple(sorted(
+                            (*base.items(), ("le", _format_bound(bound)))
+                        )))
+                        lines.append(f"{metric.name}_bucket{labels} {count}")
+                    plain = _format_labels(series.labels)
+                    lines.append(f"{metric.name}_sum{plain} {series.total:g}")
+                    lines.append(f"{metric.name}_count{plain} {series.count}")
+                else:
+                    labels = _format_labels(series.labels)
+                    lines.append(f"{metric.name}{labels} {series.value:g}")
+        return "\n".join(lines) + "\n"
+
+
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry every component binds to by default."""
+    return _DEFAULT_REGISTRY

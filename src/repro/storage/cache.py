@@ -4,11 +4,18 @@ The paper's setting keeps vertex codes in memory while adjacency data
 lives on disk (RocksDB).  RocksDB fronts reads with a block cache; our
 KV store does the same with this LRU so that "hot" adjacency lists do
 not hit disk twice and cache statistics can be reported by benchmarks.
+
+Counters live in the metrics registry (one ``cache=<scope>`` label per
+instance, see :mod:`repro.obs`); the historical ``hits`` / ``misses``
+/ ``evictions`` / ``invalidations`` attributes remain readable as
+live views over those series.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
+
+from ..obs import CacheStats
 
 __all__ = ["LRUCache"]
 
@@ -36,10 +43,7 @@ class LRUCache:
         self.capacity_bytes = capacity_bytes
         self._data: OrderedDict[object, object] = OrderedDict()
         self._size = 0
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.invalidations = 0
+        self._stats = CacheStats()
 
     def __len__(self) -> int:
         return len(self._data)
@@ -48,14 +52,34 @@ class LRUCache:
     def size_bytes(self) -> int:
         return self._size
 
+    @property
+    def hits(self) -> int:
+        return self._stats.hits
+
+    @property
+    def misses(self) -> int:
+        return self._stats.misses
+
+    @property
+    def evictions(self) -> int:
+        return self._stats.evictions
+
+    @property
+    def invalidations(self) -> int:
+        return self._stats.invalidations
+
+    def _sync_gauges(self) -> None:
+        self._stats.set_gauge("entries", len(self._data))
+        self._stats.set_gauge("size_bytes", self._size)
+
     def get(self, key):
         """Return the cached value or None; updates recency and stats."""
         value = self._data.get(key, _MISSING)
         if value is _MISSING:
-            self.misses += 1
+            self._stats.inc("misses")
             return None
         self._data.move_to_end(key)
-        self.hits += 1
+        self._stats.inc("hits")
         return value
 
     def put(self, key, value) -> None:
@@ -66,7 +90,8 @@ class LRUCache:
             if key in self._data:
                 self._size -= len(self._data[key])
                 del self._data[key]
-                self.evictions += 1
+                self._stats.inc("evictions")
+                self._sync_gauges()
             return
         if key in self._data:
             self._size -= len(self._data[key])
@@ -76,33 +101,36 @@ class LRUCache:
         while self._size > self.capacity_bytes:
             _, evicted = self._data.popitem(last=False)
             self._size -= len(evicted)
-            self.evictions += 1
+            self._stats.inc("evictions")
+        self._sync_gauges()
 
     def evict(self, key) -> bool:
         """Drop ``key`` if present (used on updates/deletes)."""
         if key in self._data:
             self._size -= len(self._data[key])
             del self._data[key]
-            self.invalidations += 1
+            self._stats.inc("invalidations")
+            self._sync_gauges()
             return True
         return False
 
     def clear(self) -> None:
-        self.invalidations += len(self._data)
+        self._stats.inc("invalidations", len(self._data))
         self._data.clear()
         self._size = 0
+        self._sync_gauges()
 
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        total = self._stats.hits + self._stats.misses
+        return self._stats.hits / total if total else 0.0
 
     def stats(self) -> dict[str, int]:
         """Counter snapshot for benchmark reporting."""
         return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "invalidations": self.invalidations,
+            "hits": self._stats.hits,
+            "misses": self._stats.misses,
+            "evictions": self._stats.evictions,
+            "invalidations": self._stats.invalidations,
             "entries": len(self._data),
             "size_bytes": self._size,
         }

@@ -30,7 +30,8 @@ import time
 from dataclasses import dataclass, replace
 from random import Random
 
-from .kvstore import DiskKVStore, StorageStats
+from ..obs import FaultStats, ReadReceipt, StorageStats
+from .kvstore import DiskKVStore
 
 __all__ = [
     "FaultConfig",
@@ -82,22 +83,6 @@ class FaultConfig:
         """Build a config seeded from ``$REPRO_FAULT_SEED`` (default 0)."""
         seed = int(os.environ.get(FAULT_SEED_ENV, "0"))
         return replace(cls(seed=seed), **overrides)
-
-
-@dataclass
-class FaultStats:
-    """What the injector actually did (for assertions and reports)."""
-
-    operations: int = 0
-    injected_read_errors: int = 0
-    injected_write_errors: int = 0
-    torn_writes: int = 0
-    retries: int = 0
-    gave_up: int = 0
-
-    def reset(self) -> None:
-        for name in self.__dataclass_fields__:
-            setattr(self, name, 0)
 
 
 class FaultInjectingKVStore:
@@ -159,7 +144,7 @@ class FaultInjectingKVStore:
 
     def _with_retries(self, attempt):
         """Run ``attempt`` with exponential backoff on ``OSError``."""
-        self.fault_stats.operations += 1
+        self.fault_stats.inc("operations")
         delay = self.config.backoff_base
         for try_no in range(self.config.max_retries + 1):
             try:
@@ -167,9 +152,9 @@ class FaultInjectingKVStore:
             except OSError:
                 self.degraded = True
                 if try_no == self.config.max_retries:
-                    self.fault_stats.gave_up += 1
+                    self.fault_stats.inc("gave_up")
                     raise
-                self.fault_stats.retries += 1
+                self.fault_stats.inc("retries")
                 self._sleep(delay)
                 delay *= self.config.backoff_factor
         raise AssertionError("unreachable: the final retry re-raises")
@@ -177,33 +162,33 @@ class FaultInjectingKVStore:
     def _maybe_fail_read(self) -> None:
         self._sleep(self.config.read_latency)
         if self._rng.random() < self.config.read_error_rate:
-            self.fault_stats.injected_read_errors += 1
+            self.fault_stats.inc("injected_read_errors")
             raise InjectedIOError("injected read error")
 
     def _maybe_fail_write(self) -> None:
         self._sleep(self.config.write_latency)
         if self._rng.random() < self.config.write_error_rate:
-            self.fault_stats.injected_write_errors += 1
+            self.fault_stats.inc("injected_write_errors")
             raise InjectedIOError("injected write error")
 
     # -- reads -------------------------------------------------------------
 
-    def get(self, key: int):
+    def get(self, key: int, receipt: ReadReceipt | None = None):
         self._check_alive()
 
         def attempt():
             self._maybe_fail_read()
-            return self._inner.get(key)
+            return self._inner.get(key, receipt=receipt)
 
         return self._with_retries(attempt)
 
-    def get_many(self, keys):
+    def get_many(self, keys, receipt: ReadReceipt | None = None):
         self._check_alive()
         keys = list(keys)
 
         def attempt():
             self._maybe_fail_read()
-            return self._inner.get_many(keys)
+            return self._inner.get_many(keys, receipt=receipt)
 
         return self._with_retries(attempt)
 
@@ -246,7 +231,7 @@ class FaultInjectingKVStore:
         handle.write(record[:cut])
         handle.flush()
         self._inner.close()
-        self.fault_stats.torn_writes += 1
+        self.fault_stats.inc("torn_writes")
         self.degraded = True
         self._crashed = True
         logger.warning(

@@ -14,7 +14,8 @@ from pathlib import Path
 import numpy as np
 
 from ..graph import DiGraph, Graph
-from .kvstore import DiskKVStore, InMemoryKVStore, StorageStats
+from ..obs import ReadReceipt, StorageStats, default_tracer
+from .kvstore import DiskKVStore, InMemoryKVStore
 
 __all__ = ["GraphStore"]
 
@@ -103,28 +104,35 @@ class GraphStore:
                 self._kv.put(v, _pack(graph.sorted_neighbors(v)))
         self._kv.flush()
 
-    def get_neighbors(self, v: int) -> list[int]:
+    def get_neighbors(self, v: int,
+                      receipt: ReadReceipt | None = None) -> list[int]:
         """Fetch the sorted adjacency list of ``v`` (a disk access)."""
-        blob = self._kv.get(v)
+        with default_tracer().span("storage_get"):
+            blob = self._kv.get(v, receipt=receipt)
         if blob is None:
             raise KeyError(f"vertex {v} is not stored")
         return _unpack(blob)
 
-    def get_neighbors_array(self, v: int) -> np.ndarray:
+    def get_neighbors_array(self, v: int,
+                            receipt: ReadReceipt | None = None) -> np.ndarray:
         """Sorted adjacency of ``v`` as a zero-copy ``uint32`` array."""
-        blob = self._kv.get(v)
+        with default_tracer().span("storage_get"):
+            blob = self._kv.get(v, receipt=receipt)
         if blob is None:
             raise KeyError(f"vertex {v} is not stored")
         return np.frombuffer(blob, dtype=np.uint32)
 
-    def get_neighbors_many(self, vertices) -> dict[int, np.ndarray]:
+    def get_neighbors_many(self, vertices,
+                           receipt: ReadReceipt | None = None,
+                           ) -> dict[int, np.ndarray]:
         """Multi-get: one deduplicated, offset-ordered storage pass.
 
         Returns ``{vertex: sorted uint32 adjacency array}``; raises
         ``KeyError`` naming the missing vertices, mirroring
         :meth:`get_neighbors`.
         """
-        blobs = self._kv.get_many(vertices)
+        with default_tracer().span("storage_multi_get"):
+            blobs = self._kv.get_many(vertices, receipt=receipt)
         missing = [v for v, blob in blobs.items() if blob is None]
         if missing:
             raise KeyError(f"vertices {sorted(missing)} are not stored")
@@ -134,14 +142,17 @@ class GraphStore:
     def has_vertex(self, v: int) -> bool:
         return v in self._kv
 
-    def has_edge(self, u: int, v: int) -> bool:
+    def has_edge(self, u: int, v: int,
+                 receipt: ReadReceipt | None = None) -> bool:
         """Edge query against storage: one disk access on ``u``'s list."""
-        blob = self._kv.get(u)
+        with default_tracer().span("storage_get"):
+            blob = self._kv.get(u, receipt=receipt)
         if blob is None:
             raise KeyError(f"vertex {u} is not stored")
         return _probe(blob, v)
 
-    def has_edge_many(self, us, vs) -> np.ndarray:
+    def has_edge_many(self, us, vs,
+                      receipt: ReadReceipt | None = None) -> np.ndarray:
         """Vectorized edge queries: grouped multi-get + one searchsorted.
 
         Probe lists are grouped by left endpoint, each distinct
@@ -156,7 +167,8 @@ class GraphStore:
         if len(us) == 0:
             return np.zeros(0, dtype=bool)
         unique_us, group = np.unique(us, return_inverse=True)
-        adjacency = self.get_neighbors_many(unique_us.tolist())
+        adjacency = self.get_neighbors_many(unique_us.tolist(),
+                                            receipt=receipt)
         arrays = [adjacency[int(u)] for u in unique_us]
         lengths = np.asarray([len(a) for a in arrays], dtype=np.int64)
         if lengths.sum() == 0:
@@ -210,12 +222,26 @@ class GraphStore:
         return changed
 
     def delete_vertex(self, v: int) -> bool:
-        """Remove ``v`` and its incident edges from every neighbor list."""
+        """Remove ``v`` and its incident edges from every neighbor list.
+
+        Each neighbor's list is rewritten exactly once and ``v``'s own
+        record is deleted once — ``d + 1`` writes for a degree-``d``
+        vertex, not the ``2d + 1`` a ``delete_edge`` loop would pay
+        (that loop would also rewrite ``v``'s shrinking list ``d``
+        times just before deleting it).
+        """
         blob = self._kv.get(v)
         if blob is None:
             return False
         for u in _unpack(blob):
-            self.delete_edge(u, v)
+            ublob = self._kv.get(u)
+            if ublob is None:
+                continue
+            neighbors = _unpack(ublob)
+            idx = bisect.bisect_left(neighbors, v)
+            if idx < len(neighbors) and neighbors[idx] == v:
+                neighbors.pop(idx)
+                self._kv.put(u, _pack(neighbors))
         self._kv.delete(v)
         return True
 

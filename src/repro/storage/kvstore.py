@@ -36,9 +36,9 @@ import logging
 import os
 import struct
 import zlib
-from dataclasses import dataclass
 from pathlib import Path
 
+from ..obs import ReadReceipt, StorageStats, default_tracer
 from .cache import LRUCache
 
 __all__ = [
@@ -104,26 +104,6 @@ def _fsync_dir(directory: Path) -> None:
         pass
     finally:
         os.close(fd)
-
-
-@dataclass
-class StorageStats:
-    """Counters for physical storage activity."""
-
-    disk_reads: int = 0
-    disk_writes: int = 0
-    bytes_read: int = 0
-    bytes_written: int = 0
-    cache_hits: int = 0
-    cache_misses: int = 0
-    checksum_failures: int = 0
-
-    def reset(self) -> None:
-        for name in self.__dataclass_fields__:
-            setattr(self, name, 0)
-
-    def snapshot(self) -> dict[str, int]:
-        return {name: getattr(self, name) for name in self.__dataclass_fields__}
 
 
 class DiskKVStore:
@@ -208,49 +188,62 @@ class DiskKVStore:
             raise
         crc = None if self._format == 1 else _record_crc(_REC_PUT, key, value)
         self._index[key] = (offset + header_size, len(value), crc)
-        self.stats.disk_writes += 1
-        self.stats.bytes_written += len(record)
+        self.stats.inc("disk_writes")
+        self.stats.inc("bytes_written", len(record))
         if self._cache is not None:
             self._cache.put(key, value)
 
     def _read_record(self, key: int, offset: int, size: int,
-                     crc: int | None, count: bool = True) -> bytes:
+                     crc: int | None, count: bool = True,
+                     receipt: ReadReceipt | None = None) -> bytes:
         self._file.seek(offset)
         value = self._file.read(size)
         if count:
-            self.stats.disk_reads += 1
-            self.stats.bytes_read += len(value)
+            self.stats.inc("disk_reads")
+            self.stats.inc("bytes_read", len(value))
+            if receipt is not None:
+                receipt.count_disk_read(len(value))
         if len(value) != size:
-            self.stats.checksum_failures += 1
+            self.stats.inc("checksum_failures")
             raise CorruptRecordError(
                 f"key {key}: record at offset {offset} is {len(value)} bytes, "
                 f"expected {size} (log truncated underneath a live index?)"
             )
         if self.verify_reads and crc is not None:
             if _record_crc(_REC_PUT, key, value) != crc:
-                self.stats.checksum_failures += 1
+                self.stats.inc("checksum_failures")
                 raise CorruptRecordError(
                     f"key {key}: checksum mismatch at offset {offset}"
                 )
         return value
 
-    def get(self, key: int) -> bytes | None:
-        """Read the value for ``key`` or None; counts a disk read on miss."""
+    def get(self, key: int,
+            receipt: ReadReceipt | None = None) -> bytes | None:
+        """Read the value for ``key`` or None; counts a disk read on miss.
+
+        ``receipt`` receives the cache-vs-disk provenance of exactly
+        this lookup, so callers can attribute I/O without diffing the
+        shared counters.
+        """
         if self._cache is not None:
-            cached = self._cache.get(key)
+            with default_tracer().span("cache"):
+                cached = self._cache.get(key)
             if cached is not None:
-                self.stats.cache_hits += 1
+                self.stats.inc("cache_hits")
+                if receipt is not None:
+                    receipt.count_cache_hit()
                 return cached
-            self.stats.cache_misses += 1
+            self.stats.inc("cache_misses")
         loc = self._index.get(key)
         if loc is None:
             return None
-        value = self._read_record(key, *loc)
+        value = self._read_record(key, *loc, receipt=receipt)
         if self._cache is not None:
             self._cache.put(key, value)
         return value
 
-    def get_many(self, keys) -> dict[int, bytes | None]:
+    def get_many(self, keys,
+                 receipt: ReadReceipt | None = None) -> dict[int, bytes | None]:
         """Batched read: one cache pass, then file reads in offset order.
 
         Keys are deduplicated (a repeated key costs one lookup), the
@@ -270,10 +263,12 @@ class DiskKVStore:
             if self._cache is not None:
                 cached = self._cache.get(key)
                 if cached is not None:
-                    self.stats.cache_hits += 1
+                    self.stats.inc("cache_hits")
+                    if receipt is not None:
+                        receipt.count_cache_hit()
                     result[key] = cached
                     continue
-                self.stats.cache_misses += 1
+                self.stats.inc("cache_misses")
             loc = self._index.get(key)
             if loc is None:
                 result[key] = None
@@ -282,7 +277,7 @@ class DiskKVStore:
             pending.append((loc[0], loc[1], loc[2], key))
         pending.sort(key=lambda item: item[0])
         for offset, size, crc, key in pending:
-            value = self._read_record(key, offset, size, crc)
+            value = self._read_record(key, offset, size, crc, receipt=receipt)
             if self._cache is not None:
                 self._cache.put(key, value)
             result[key] = value
@@ -298,8 +293,8 @@ class DiskKVStore:
             record = _encode_frame(_REC_TOMBSTONE, key)
         self._file.seek(0, os.SEEK_END)
         self._file.write(record)
-        self.stats.disk_writes += 1
-        self.stats.bytes_written += len(record)
+        self.stats.inc("disk_writes")
+        self.stats.inc("bytes_written", len(record))
         del self._index[key]
         if self._cache is not None:
             self._cache.evict(key)
@@ -469,39 +464,46 @@ class InMemoryKVStore:
     def put(self, key: int, value: bytes) -> None:
         _check_value_size(len(value))
         self._data[key] = value
-        self.stats.disk_writes += 1
-        self.stats.bytes_written += len(value)
+        self.stats.inc("disk_writes")
+        self.stats.inc("bytes_written", len(value))
         if self._cache is not None:
             self._cache.put(key, value)
 
-    def get(self, key: int) -> bytes | None:
+    def get(self, key: int,
+            receipt: ReadReceipt | None = None) -> bytes | None:
         if self._cache is not None:
-            cached = self._cache.get(key)
+            with default_tracer().span("cache"):
+                cached = self._cache.get(key)
             if cached is not None:
-                self.stats.cache_hits += 1
+                self.stats.inc("cache_hits")
+                if receipt is not None:
+                    receipt.count_cache_hit()
                 return cached
-            self.stats.cache_misses += 1
+            self.stats.inc("cache_misses")
         value = self._data.get(key)
         if value is not None:
-            self.stats.disk_reads += 1
-            self.stats.bytes_read += len(value)
+            self.stats.inc("disk_reads")
+            self.stats.inc("bytes_read", len(value))
+            if receipt is not None:
+                receipt.count_disk_read(len(value))
             if self._cache is not None:
                 self._cache.put(key, value)
         return value
 
-    def get_many(self, keys) -> dict[int, bytes | None]:
+    def get_many(self, keys,
+                 receipt: ReadReceipt | None = None) -> dict[int, bytes | None]:
         """Batched read with the same dedup semantics as the disk store."""
         result: dict[int, bytes | None] = {}
         for key in keys:
             key = int(key)
             if key not in result:
-                result[key] = self.get(key)
+                result[key] = self.get(key, receipt=receipt)
         return result
 
     def delete(self, key: int) -> bool:
         if key in self._data:
             del self._data[key]
-            self.stats.disk_writes += 1
+            self.stats.inc("disk_writes")
             if self._cache is not None:
                 self._cache.evict(key)
             return True

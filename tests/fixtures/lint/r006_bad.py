@@ -1,0 +1,12 @@
+"""R006 fixture: counters mutated directly instead of via the registry."""
+
+
+class Engine:
+    def __init__(self, stats, fault_stats):
+        self.stats = stats
+        self.fault_stats = fault_stats
+
+    def serve(self, hits):
+        self.stats.total += 1
+        self.stats.cache_served += hits
+        self.fault_stats.retries = 3

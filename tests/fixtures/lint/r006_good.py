@@ -1,0 +1,21 @@
+"""R006 fixture: counter mutation routed through the registry views.
+
+A local result record (a plain variable, not a ``self`` stats holder)
+may still be assigned directly — it is a report, not a live counter.
+"""
+
+
+class Engine:
+    def __init__(self, stats, fault_stats):
+        self.stats = stats
+        self.fault_stats = fault_stats
+
+    def serve(self, hits):
+        self.stats.inc("total")
+        self.stats.inc("cache_served", hits)
+        self.fault_stats.inc("retries", 3)
+
+    def report(self, receipt):
+        stats = {"disk_reads": 0}
+        stats["disk_reads"] = receipt.disk_reads
+        return stats

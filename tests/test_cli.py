@@ -84,3 +84,53 @@ class TestAnalyze:
         out = capsys.readouterr().out
         assert "decodable" in out
         assert "core-core" in out
+
+
+_SMALL_WORKLOAD = ["--vertices", 80, "--pairs", 200, "--updates", 10]
+
+
+class TestStatsTrace:
+    def test_stats_text_lists_every_series(self, capsys):
+        assert run(["stats", *_SMALL_WORKLOAD]) == 0
+        out = capsys.readouterr().out
+        assert "repro_query_total_total{" in out
+        assert "repro_storage_disk_reads_total{" in out
+        assert "repro_db_maintenance_reads_total{" in out
+
+    def test_stats_json_is_valid(self, capsys):
+        import json
+
+        assert run(["stats", "--json", *_SMALL_WORKLOAD]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        names = {m["name"] for m in doc["metrics"]}
+        assert "repro_query_total_total" in names
+        assert "repro_query_latency_seconds" in names
+        assert all("series" in m for m in doc["metrics"])
+
+    def test_stats_prometheus_has_type_lines(self, capsys):
+        assert run(["stats", "--prometheus", *_SMALL_WORKLOAD]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_storage_disk_reads_total counter" in out
+        assert "# TYPE repro_query_latency_seconds histogram" in out
+        assert 'le="+Inf"' in out
+
+    def test_stats_formats_are_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            run(["stats", "--json", "--prometheus"])
+
+    def test_trace_prints_query_trees(self, capsys):
+        assert run(["trace", "--limit", 3, *_SMALL_WORKLOAD]) == 0
+        out = capsys.readouterr().out
+        assert "query" in out
+        assert "ndf_filter" in out
+
+    def test_trace_json(self, capsys):
+        import json
+
+        from repro.obs import default_tracer
+
+        assert run(["trace", "--json", "--limit", 2, *_SMALL_WORKLOAD]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert len(doc) <= 2
+        assert all("name" in span for span in doc)
+        assert not default_tracer().enabled  # switched back off

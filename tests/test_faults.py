@@ -199,7 +199,11 @@ def test_degraded_surfaces_through_graphstore_and_engine(tmp_path):
     assert engine.has_edge_batch([(1, 2), (2, 4)]).tolist() == [True, False]
     assert store.degraded
     assert engine.stats.degraded
+    # degraded is derived from the store at read time: clearing the
+    # engine's counters cannot hide a store that is still failing.
     engine.stats.reset()
+    assert engine.stats.degraded
+    faulty.reset_degraded()
     assert not engine.stats.degraded
     store.close()
 

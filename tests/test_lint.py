@@ -1,6 +1,6 @@
 """Tests for the VEND invariant linter (repro.devtools.linter).
 
-Each rule R001–R005 has a paired bad/good fixture under
+Each rule R001–R006 has a paired bad/good fixture under
 ``tests/fixtures/lint/``; the bad file must produce exactly the
 expected (rule, line) findings and the corrected file none.  The suite
 also pins the acceptance criterion that the repo's own ``src/`` tree
@@ -28,6 +28,7 @@ def findings_of(path: Path) -> list[tuple[str, int]]:
     ("r003_bad.py", [("R003", 17), ("R003", 20), ("R003", 23)]),
     ("r004_bad.py", [("R004", 9), ("R004", 10), ("R004", 11), ("R004", 12)]),
     ("r005_bad.py", [("R005", 13), ("R005", 21), ("R005", 28)]),
+    ("r006_bad.py", [("R006", 10), ("R006", 11), ("R006", 12)]),
 ])
 def test_bad_fixture_fires_exact_rules_and_lines(fixture, expected):
     assert findings_of(FIXTURES / fixture) == expected
@@ -35,7 +36,7 @@ def test_bad_fixture_fires_exact_rules_and_lines(fixture, expected):
 
 @pytest.mark.parametrize("fixture", [
     "core/r001_good.py", "r002_good.py", "r003_good.py",
-    "r004_good.py", "r005_good.py",
+    "r004_good.py", "r005_good.py", "r006_good.py",
 ])
 def test_good_fixture_is_silent(fixture):
     assert findings_of(FIXTURES / fixture) == []

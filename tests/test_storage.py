@@ -243,6 +243,20 @@ class TestGraphStore:
         assert store.get_neighbors(2) == [3]
         assert not store.delete_vertex(1)
 
+    def test_delete_vertex_writes_each_neighbor_once(self):
+        # A degree-d vertex must cost exactly d neighbor rewrites plus
+        # one key deletion — not the 2d + 1 writes a delete_edge loop
+        # pays (each delete_edge also rewrote v's own shrinking list).
+        d = 7
+        hub = 0
+        store = GraphStore()
+        store.bulk_load(Graph([(hub, leaf) for leaf in range(1, d + 1)]))
+        writes_before = store.stats.disk_writes
+        assert store.delete_vertex(hub)
+        assert store.stats.disk_writes - writes_before == d + 1
+        for leaf in range(1, d + 1):
+            assert store.get_neighbors(leaf) == []
+
     def test_directed_graph_stored_undirected(self):
         g = DiGraph([(1, 2), (3, 1)])
         store = GraphStore()
