@@ -3,9 +3,23 @@
 Benchmarks run macro experiments once (``benchmark.pedantic`` with a
 single round) — they reproduce table/figure *shapes*, not nanosecond
 micro-timings.  Result tables land in ``benchmarks/results/``.
+
+The sharded-throughput benchmark additionally publishes a PR-level
+report: every payload handed to the ``bench_report`` fixture is
+collected for the session and written to ``BENCH_PR5.json`` at the
+repo root when the run ends, so the headline numbers (throughput,
+p50/p99 latency, shard/worker sweep, speedup vs the PR 1 read path)
+live next to the code they measure rather than buried in test output.
 """
 
+import json
+from pathlib import Path
+
 import pytest
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+_PR_REPORT = _REPO_ROOT / "BENCH_PR5.json"
+_report_sections: dict = {}
 
 
 @pytest.fixture
@@ -17,3 +31,19 @@ def once(benchmark):
                                   rounds=1, iterations=1, warmup_rounds=0)
 
     return runner
+
+
+@pytest.fixture
+def bench_report():
+    """Stash a named section for the session's ``BENCH_PR5.json``."""
+
+    def record(section: str, payload: dict) -> None:
+        _report_sections[section] = payload
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _report_sections:
+        _PR_REPORT.write_text(
+            json.dumps(_report_sections, indent=2, sort_keys=True) + "\n")

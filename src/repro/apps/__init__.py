@@ -2,7 +2,7 @@
 
 from .database import VendGraphDB
 from .clustering import ClusteringStats, average_clustering, local_clustering
-from .edge_query import EdgeQueryEngine, QueryStats
+from .edge_query import EdgeQueryEngine, ParallelEdgeQueryEngine, QueryStats
 from .matching import (
     MatchStats,
     SubgraphMatcher,
@@ -14,6 +14,7 @@ from .triangle import TriangleStats, edge_iterator_count, trigon_count
 
 __all__ = [
     "EdgeQueryEngine",
+    "ParallelEdgeQueryEngine",
     "VendGraphDB",
     "ClusteringStats",
     "average_clustering",

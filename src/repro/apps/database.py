@@ -21,8 +21,8 @@ from ..core import HybPlusVend, HybridVend, IdCapacityError
 from ..core.hybrid import HybridVend as _HybridBase
 from ..graph import Graph
 from ..obs import DatabaseStats, ReadReceipt
-from ..storage import GraphStore, StorageStats
-from .edge_query import EdgeQueryEngine, QueryStats
+from ..storage import GraphStore, ShardedGraphStore, StorageStats
+from .edge_query import EdgeQueryEngine, ParallelEdgeQueryEngine, QueryStats
 
 __all__ = ["VendGraphDB"]
 
@@ -36,22 +36,52 @@ class VendGraphDB:
     ----------
     path:
         Backing file for the adjacency log (None = in-memory, tests).
+        With ``shards > 1`` this becomes the base path of the segment
+        files (``<path>.shard<N>``).
     k, method:
         VEND configuration (``"hybrid"`` or ``"hyb+"``).
     cache_bytes:
-        Block-cache size for the store.
+        Block-cache size for the store — the total budget, split across
+        the shard-local caches when sharded.
+    shards, workers:
+        ``shards > 1`` switches storage to a hash-partitioned
+        :class:`~repro.storage.ShardedGraphStore` and the query path to
+        the thread-pool :class:`ParallelEdgeQueryEngine` with
+        ``workers`` threads (default: one per shard).  The default
+        ``shards=1`` keeps the original single-file store and serial
+        engine, byte-for-byte.
+
+    ::
+
+        db = VendGraphDB(shards=4)      # 4 segments, 4 worker threads
+        db.load_graph(graph)
+        db.has_edge_batch(us, vs)       # shard-parallel pipeline
     """
 
     def __init__(self, path: str | Path | None = None, k: int = 8,
                  method: str = "hyb+", cache_bytes: int = 0,
-                 id_bits: int | None = None):
+                 id_bits: int | None = None, shards: int = 1,
+                 workers: int | None = None):
         if method not in _METHODS:
             raise ValueError(f"method must be one of {sorted(_METHODS)}")
-        self.store = GraphStore(path, cache_bytes=cache_bytes)
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
         self.vend: _HybridBase = _METHODS[method](k=k, id_bits=id_bits)
-        self._engine = EdgeQueryEngine(self.store, self.vend)
+        if shards > 1:
+            self.store = ShardedGraphStore(path, num_shards=shards,
+                                           cache_bytes=cache_bytes)
+            self._engine = ParallelEdgeQueryEngine(self.store, self.vend,
+                                                   workers=workers)
+        else:
+            self.store = GraphStore(path, cache_bytes=cache_bytes)
+            self._engine = EdgeQueryEngine(self.store, self.vend)
         self.db_stats = DatabaseStats()
         self._built = False
+
+    @property
+    def num_shards(self) -> int:
+        """Storage segment count (1 = unsharded legacy layout)."""
+        return getattr(self.store, "num_shards", 1)
 
     def _fetch_for_maintenance(self, v: int) -> list[int]:
         """Adjacency fetch booked to maintenance, not any query engine.
@@ -160,6 +190,15 @@ class VendGraphDB:
         return self._engine.stats
 
     @property
+    def shard_query_stats(self) -> list[QueryStats]:
+        """Per-shard query ledgers; empty when the store is unsharded.
+
+        Each entry is labeled ``shard="<i>"`` and sums with its peers
+        to exactly the :attr:`query_stats` totals.
+        """
+        return list(getattr(self._engine, "shard_stats", []))
+
+    @property
     def index_rebuilds(self) -> int:
         """Full index rebuilds performed (ID capacity growth)."""
         return self.db_stats.index_rebuilds
@@ -183,6 +222,9 @@ class VendGraphDB:
         return self.vend.memory_bytes()
 
     def close(self) -> None:
+        closer = getattr(self._engine, "close", None)
+        if closer is not None:
+            closer()
         self.store.close()
 
     def __enter__(self) -> "VendGraphDB":

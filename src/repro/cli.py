@@ -17,7 +17,14 @@ Commands cover the basic operational loop of a VEND deployment:
   counter from the metrics registry (text, ``--json``, or
   ``--prometheus``);
 - ``trace`` — the same workload with the span tracer enabled,
-  printing the ``query → ndf_filter → storage_get → cache`` trees.
+  printing the ``query → ndf_filter → storage_get → cache`` trees;
+- ``bench`` — batched-query throughput, serial single-file engine vs
+  the shard-parallel engine, with ``--check-speedup`` as a CI gate.
+
+``stats``, ``trace`` and ``audit`` accept ``--shards``/``--workers``
+(default: the ``REPRO_SHARDS`` env var, else 1) to exercise the
+hash-partitioned store and thread-pool engine instead of the serial
+path.
 """
 
 from __future__ import annotations
@@ -116,6 +123,16 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--no-maintenance", action="store_true",
                        help="skip the insert+delete maintenance phase")
 
+    def add_shard_args(sub) -> None:
+        sub.add_argument("--shards", type=int,
+                         default=int(os.environ.get("REPRO_SHARDS", "1")),
+                         help="storage segments (>1 enables the parallel "
+                              "engine; default: $REPRO_SHARDS or 1)")
+        sub.add_argument("--workers", type=int, default=None,
+                         help="query pool threads (default: one per shard)")
+
+    add_shard_args(audit)
+
     def add_workload_args(sub) -> None:
         sub.add_argument("--vertices", type=int, default=300)
         sub.add_argument("--avg-degree", type=float, default=8.0)
@@ -126,6 +143,7 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--updates", type=int, default=50)
         sub.add_argument("--cache-bytes", type=int, default=1 << 16)
         sub.add_argument("--seed", type=int, default=0)
+        add_shard_args(sub)
 
     stats = commands.add_parser(
         "stats", help="run a seeded workload and export all metrics"
@@ -145,6 +163,33 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit traces as JSON")
     trace.add_argument("--limit", type=int, default=5,
                        help="number of most recent root traces to print")
+
+    bench = commands.add_parser(
+        "bench", help="batched-query throughput: serial vs shard-parallel"
+    )
+    bench.add_argument("--vertices", type=int, default=2000)
+    bench.add_argument("--avg-degree", type=float, default=8.0)
+    bench.add_argument("--k", type=int, default=6)
+    bench.add_argument("--method", choices=["hybrid", "hyb+"],
+                       default="hyb+")
+    bench.add_argument("--pairs", type=int, default=100_000)
+    bench.add_argument("--cache-bytes", type=int, default=0,
+                       help="block-cache budget (default 0: every probe "
+                            "pays real storage reads)")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--workload", choices=["random", "edges"],
+                       default="random",
+                       help="random pairs (NDF-bound) or sampled edges "
+                            "(storage-bound: nothing filters, every pair "
+                            "pays a read — the regime sharding targets)")
+    bench.add_argument("--rounds", type=int, default=3,
+                       help="timed rounds per config after one warm-up "
+                            "(best round wins)")
+    add_shard_args(bench)
+    bench.add_argument("--check-speedup", type=float, default=None,
+                       metavar="X",
+                       help="exit 1 unless sharded throughput >= X * serial "
+                            "(the CI smoke gate)")
 
     return parser
 
@@ -274,8 +319,21 @@ def _cmd_audit(args) -> int:
         for violation in report.violations:
             print(f"  {violation.format()}")
         failed += 0 if report.ok else 1
+    if args.shards > 1:
+        from .devtools import audit_parallel_engine
+
+        print(f"parallel engine sweep: shards={args.shards} "
+              f"workers={args.workers or args.shards}")
+        for name in names:
+            report = audit_parallel_engine(
+                graph, create_solution(name, k=args.k),
+                shards=args.shards, workers=args.workers or args.shards,
+                seed=args.seed, pairs=args.pairs, updates=args.updates,
+            )
+            print(report.summary())
+            failed += 0 if report.ok else 1
     if failed:
-        print(f"audit: {failed}/{len(names)} solutions FAILED")
+        print(f"audit: {failed} audit(s) FAILED")
         return 1
     print(f"audit: all {len(names)} solutions sound")
     return 0
@@ -294,7 +352,8 @@ def _obs_workload(args) -> None:
 
     graph = powerlaw_graph(args.vertices, args.avg_degree, seed=args.seed)
     db = VendGraphDB(k=args.k, method=args.method,
-                     cache_bytes=args.cache_bytes)
+                     cache_bytes=args.cache_bytes,
+                     shards=args.shards, workers=args.workers)
     db.load_graph(graph)
     edges = sorted(graph.edges())[:args.updates]
     for u, v in edges:
@@ -307,6 +366,7 @@ def _obs_workload(args) -> None:
         db.has_edge(u, v)
     if pairs[half:]:
         db.has_edge_batch(pairs[half:])
+    db.close()
 
 
 def _cmd_stats(args) -> int:
@@ -345,6 +405,60 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _timed_batch(db, us, vs) -> float:
+    start = time.perf_counter()
+    db.has_edge_batch(us, vs)
+    return time.perf_counter() - start
+
+
+def _cmd_bench(args) -> int:
+    import tempfile
+
+    import numpy as np
+
+    from .apps import VendGraphDB
+    from .graph import powerlaw_graph
+
+    graph = powerlaw_graph(args.vertices, args.avg_degree, seed=args.seed)
+    if args.workload == "edges":
+        edges = sorted(graph.edges())
+        rng = np.random.default_rng(args.seed + 1)
+        idx = rng.integers(0, len(edges), size=args.pairs)
+        pairs = [edges[i] for i in idx]
+    else:
+        pairs = random_pairs(graph, args.pairs, seed=args.seed + 1)
+    us = np.asarray([u for u, _ in pairs], dtype=np.int64)
+    vs = np.asarray([v for _, v in pairs], dtype=np.int64)
+
+    def throughput(shards: int, workers: int | None) -> float:
+        with tempfile.TemporaryDirectory() as tmp:
+            db = VendGraphDB(Path(tmp) / "adjacency.log", k=args.k,
+                             method=args.method,
+                             cache_bytes=args.cache_bytes,
+                             shards=shards, workers=workers)
+            db.load_graph(graph)
+            db.has_edge_batch(us, vs)  # warm-up: page cache + checksums
+            best = min(_timed_batch(db, us, vs)
+                       for _ in range(max(args.rounds, 1)))
+            db.close()
+        return len(pairs) / best
+
+    print(f"bench graph: |V|={graph.num_vertices} |E|={graph.num_edges} "
+          f"pairs={len(pairs)} seed={args.seed}")
+    serial = throughput(1, None)
+    print(f"serial              : {serial:>12.0f} pairs/s")
+    shards = max(args.shards, 2)
+    sharded = throughput(shards, args.workers)
+    speedup = sharded / serial
+    print(f"sharded s={shards} w={args.workers or shards}     : "
+          f"{sharded:>12.0f} pairs/s  ({speedup:.2f}x)")
+    if args.check_speedup is not None and speedup < args.check_speedup:
+        print(f"bench: FAIL speedup {speedup:.2f}x < "
+              f"required {args.check_speedup:.2f}x")
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "build": _cmd_build,
@@ -356,6 +470,7 @@ _COMMANDS = {
     "audit": _cmd_audit,
     "stats": _cmd_stats,
     "trace": _cmd_trace,
+    "bench": _cmd_bench,
 }
 
 

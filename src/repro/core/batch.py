@@ -20,7 +20,60 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["MemberTable", "PartialBatch", "RangeBatch", "ModHashBatch"]
+__all__ = [
+    "MemberTable",
+    "PartialBatch",
+    "RangeBatch",
+    "ModHashBatch",
+    "warm_batch_snapshot",
+    "shard_slices",
+]
+
+
+def warm_batch_snapshot(filt) -> None:
+    """Force a filter's lazy batch snapshot to build on *this* thread.
+
+    Every solution rebuilds its snapshot lazily via the unguarded
+    ``if self._batch_index is None: self._batch_index = ...`` pattern.
+    That is fine single-threaded, but the shard-parallel engine
+    evaluates NDF slices on pool threads — two threads hitting a cold
+    snapshot would build it twice and publish a half-initialized object
+    to each other.  The engine therefore warms the snapshot once on the
+    coordinator thread before any fan-out; after maintenance (which
+    invalidates the snapshot) the next batch re-warms it the same way.
+
+    The snapshot itself stays **shared across shards** rather than
+    being split per shard: ``F(f(u), f(v))`` reads *both* endpoints'
+    codes, and ``v`` routinely lives on a different shard than ``u``,
+    so per-shard code columns would force cross-shard chatter on every
+    pair.  A frozen read-only snapshot shared by all pool threads is
+    both correct and contention-free.
+    """
+    batch = getattr(filt, "is_nonedge_batch", None)
+    if batch is not None:
+        probe = np.zeros(1, dtype=np.int64)
+        batch(probe, probe)
+
+
+def shard_slices(router, us: np.ndarray, vs: np.ndarray):
+    """Split an aligned pair batch into per-shard work units.
+
+    Pairs are owned by the shard of their **left** endpoint — the only
+    endpoint whose adjacency list storage will read — so each slice is
+    self-contained: NDF filtering plus a shard-local multi-get answers
+    it without touching another segment.  Yields
+    ``(shard, idx, us[idx], vs[idx])`` with ``idx`` in original input
+    order; the caller merges with ``answers[idx] = slice_answers``.
+
+    Because the slices partition the *left* endpoints, deduplicating
+    ``us`` per shard equals deduplicating globally — the same vertex
+    can never appear in two slices — which is what keeps the parallel
+    engine's ``cache_served``/``disk_served`` totals bitwise equal to
+    the serial pipeline's.
+    """
+    for shard, idx in enumerate(router.partition(us)):
+        if len(idx):
+            yield shard, idx, us[idx], vs[idx]
 
 #: Sentinel member value: IDs are < 2^32, so the all-ones uint32 can
 #: only collide with a (pathological) max-universe vertex, and a

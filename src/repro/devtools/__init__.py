@@ -5,7 +5,13 @@
 every registered solution.  Both are wired into CI — see DESIGN.md §9.
 """
 
-from .audit import AuditReport, AuditViolation, SoundnessAuditor
+from .audit import (
+    AuditReport,
+    AuditViolation,
+    ParallelAuditReport,
+    SoundnessAuditor,
+    audit_parallel_engine,
+)
 from .linter import RULES, Finding, Linter, lint_paths
 
 __all__ = [
@@ -16,4 +22,6 @@ __all__ = [
     "AuditReport",
     "AuditViolation",
     "SoundnessAuditor",
+    "ParallelAuditReport",
+    "audit_parallel_engine",
 ]

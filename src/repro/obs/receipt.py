@@ -34,8 +34,17 @@ class ReadReceipt:
     def count_cache_hit(self) -> None:
         self.cache_hits += 1
 
+    def count_cache_hits(self, n: int) -> None:
+        """Bulk variant: ``n`` cache-served lookups booked at once."""
+        self.cache_hits += n
+
     def count_disk_read(self, nbytes: int = 0) -> None:
         self.disk_reads += 1
+        self.bytes_read += nbytes
+
+    def count_disk_reads(self, n: int, nbytes: int = 0) -> None:
+        """Bulk variant: ``n`` physical reads booked at once."""
+        self.disk_reads += n
         self.bytes_read += nbytes
 
     def merge(self, other: "ReadReceipt") -> None:
@@ -43,3 +52,17 @@ class ReadReceipt:
         self.cache_hits += other.cache_hits
         self.disk_reads += other.disk_reads
         self.bytes_read += other.bytes_read
+
+    @classmethod
+    def merged(cls, receipts) -> "ReadReceipt":
+        """One receipt folding a collection of sub-operation receipts.
+
+        This is how the shard-parallel engine keeps attribution exact
+        under concurrency: every pool task carries its own private
+        receipt (no shared mutable counters between threads), and the
+        coordinator merges them after the join barrier.
+        """
+        total = cls()
+        for receipt in receipts:
+            total.merge(receipt)
+        return total

@@ -22,6 +22,7 @@ evicted first, so tracing a long workload cannot grow without bound.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -97,13 +98,28 @@ class _SpanContext:
 
 
 class Tracer:
-    """Collects nested spans into per-root traces while enabled."""
+    """Collects nested spans into per-root traces while enabled.
+
+    The open-span stack is **thread-local**: the shard-parallel engine
+    runs per-shard subtrees on pool threads, and a shared stack would
+    interleave unrelated spans into one garbled tree.  Each thread
+    nests its own spans; completed root spans from every thread land in
+    the shared bounded ``traces`` deque (append is atomic under the
+    GIL).
+    """
 
     def __init__(self, max_traces: int = 128, clock=time.perf_counter):
         self.enabled = False
         self._clock = clock
-        self._stack: list[Span] = []
+        self._local = threading.local()
         self.traces: deque[Span] = deque(maxlen=max_traces)
+
+    @property
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     def span(self, name: str, **labels: str):
         """Open a span nested under the innermost active one."""
@@ -113,19 +129,21 @@ class Tracer:
 
     def _push(self, span: Span) -> None:
         span.start = self._clock()
-        if self._stack:
-            self._stack[-1].children.append(span)
-        self._stack.append(span)
+        stack = self._stack
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
 
     def _pop(self, span: Span) -> None:
         span.end = self._clock()
         # Tolerate a span left open across an exception unwind: pop back
         # to (and including) the span being closed.
-        while self._stack:
-            top = self._stack.pop()
+        stack = self._stack
+        while stack:
+            top = stack.pop()
             if top is span:
                 break
-        if not self._stack:
+        if not stack:
             self.traces.append(span)
 
     def clear(self) -> None:

@@ -15,10 +15,13 @@ from .kvstore import (
     InMemoryKVStore,
     StorageStats,
 )
+from .sharding import ShardedGraphStore, ShardRouter
 
 __all__ = [
     "LRUCache",
     "GraphStore",
+    "ShardRouter",
+    "ShardedGraphStore",
     "DiskKVStore",
     "InMemoryKVStore",
     "StorageStats",

@@ -13,6 +13,7 @@ live views over those series.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from ..obs import CacheStats
@@ -35,6 +36,12 @@ class LRUCache:
     ``invalidations`` counts entries dropped deliberately by
     :meth:`evict` and :meth:`clear` (updates, deletes, compaction),
     so degraded-mode reports can separate churn from pressure.
+
+    The cache is thread-safe: ``get``/``put``/``evict``/``clear`` hold
+    an ``RLock`` around the OrderedDict and size bookkeeping, because
+    shard-parallel query execution probes one cache from several pool
+    threads at once (it is the only shared mutable hot-path structure
+    that had no lock; the metrics registry already has its own).
     """
 
     def __init__(self, capacity_bytes: int):
@@ -44,6 +51,7 @@ class LRUCache:
         self._data: OrderedDict[object, object] = OrderedDict()
         self._size = 0
         self._stats = CacheStats()
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
         return len(self._data)
@@ -74,51 +82,55 @@ class LRUCache:
 
     def get(self, key):
         """Return the cached value or None; updates recency and stats."""
-        value = self._data.get(key, _MISSING)
-        if value is _MISSING:
-            self._stats.inc("misses")
-            return None
-        self._data.move_to_end(key)
-        self._stats.inc("hits")
-        return value
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self._stats.inc("misses")
+                return None
+            self._data.move_to_end(key)
+            self._stats.inc("hits")
+            return value
 
     def put(self, key, value) -> None:
         """Insert/overwrite ``key``, evicting LRU entries as needed."""
         value_size = len(value)
-        if value_size > self.capacity_bytes:
-            # Uncacheable: drop the stale entry rather than serve it.
+        with self._lock:
+            if value_size > self.capacity_bytes:
+                # Uncacheable: drop the stale entry rather than serve it.
+                if key in self._data:
+                    self._size -= len(self._data[key])
+                    del self._data[key]
+                    self._stats.inc("evictions")
+                    self._sync_gauges()
+                return
             if key in self._data:
                 self._size -= len(self._data[key])
                 del self._data[key]
+            self._data[key] = value
+            self._size += value_size
+            while self._size > self.capacity_bytes:
+                _, evicted = self._data.popitem(last=False)
+                self._size -= len(evicted)
                 self._stats.inc("evictions")
-                self._sync_gauges()
-            return
-        if key in self._data:
-            self._size -= len(self._data[key])
-            del self._data[key]
-        self._data[key] = value
-        self._size += value_size
-        while self._size > self.capacity_bytes:
-            _, evicted = self._data.popitem(last=False)
-            self._size -= len(evicted)
-            self._stats.inc("evictions")
-        self._sync_gauges()
+            self._sync_gauges()
 
     def evict(self, key) -> bool:
         """Drop ``key`` if present (used on updates/deletes)."""
-        if key in self._data:
-            self._size -= len(self._data[key])
-            del self._data[key]
-            self._stats.inc("invalidations")
-            self._sync_gauges()
-            return True
-        return False
+        with self._lock:
+            if key in self._data:
+                self._size -= len(self._data[key])
+                del self._data[key]
+                self._stats.inc("invalidations")
+                self._sync_gauges()
+                return True
+            return False
 
     def clear(self) -> None:
-        self._stats.inc("invalidations", len(self._data))
-        self._data.clear()
-        self._size = 0
-        self._sync_gauges()
+        with self._lock:
+            self._stats.inc("invalidations", len(self._data))
+            self._data.clear()
+            self._size = 0
+            self._sync_gauges()
 
     def hit_rate(self) -> float:
         total = self._stats.hits + self._stats.misses

@@ -185,40 +185,118 @@ class GraphStore:
         pos = np.minimum(pos, len(combined) - 1)
         return (combined[pos] == probes) & valid
 
+    def probe_edges(self, us, vs,
+                    receipt: ReadReceipt | None = None) -> np.ndarray:
+        """Blob-native :meth:`has_edge_many`: identical verdicts, fewer
+        intermediates.
+
+        The multi-get goes through the KV store's ``get_many_packed``
+        when it offers one: the distinct adjacency blobs come back as
+        one contiguous byte array plus a length vector, so everything
+        between the (coalesced, ``pread``-based) file reads and the
+        final searchsorted is a handful of whole-batch numpy kernels —
+        no per-record bytes objects, no dict of blobs, no
+        concatenation of thousands of tiny arrays.  This is the
+        per-shard hot path of the parallel query engine; pool threads
+        spend their time in GIL-releasing C loops rather than Python
+        list plumbing.  Stores without the packed read (e.g. a
+        fault-injecting wrapper) fall back to :meth:`get_neighbors_many`
+        semantics with identical verdicts and stats.
+        """
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        if us.shape != vs.shape:
+            raise ValueError("endpoint arrays must be aligned")
+        if len(us) == 0:
+            return np.zeros(0, dtype=bool)
+        unique_us, group = np.unique(us, return_inverse=True)
+        packed = getattr(self._kv, "get_many_packed", None)
+        with default_tracer().span("storage_multi_get"):
+            if packed is not None:
+                try:
+                    data, byte_lengths = packed(unique_us,
+                                                receipt=receipt)
+                except KeyError as exc:
+                    raise KeyError(
+                        f"vertices {sorted(exc.args[0])} are not stored"
+                    ) from None
+                lengths = byte_lengths // 4
+            else:
+                blobs = self._kv.get_many(unique_us.tolist(),
+                                          receipt=receipt)
+                missing = [v for v, blob in blobs.items() if blob is None]
+                if missing:
+                    raise KeyError(
+                        f"vertices {sorted(missing)} are not stored")
+                # dict preserves insertion order == unique_us order, so
+                # the joined buffer lines up with the group indices.
+                data = np.frombuffer(b"".join(blobs.values()),
+                                     dtype=np.uint8)
+                lengths = np.fromiter(
+                    (len(blob) for blob in blobs.values()),
+                    dtype=np.int64, count=len(blobs)) // 4
+        if data.size == 0:
+            return np.zeros(len(us), dtype=bool)
+        base = np.arange(len(lengths), dtype=np.int64) * _ID_LIMIT
+        combined = (data.view(np.uint32).astype(np.int64)
+                    + np.repeat(base, lengths))
+        valid = (vs >= 0) & (vs < _ID_LIMIT)
+        probes = vs + base[group]
+        pos = np.searchsorted(combined, probes)
+        pos = np.minimum(pos, len(combined) - 1)
+        return (combined[pos] == probes) & valid
+
     # -- updates -------------------------------------------------------------
 
     def put_neighbors(self, v: int, neighbors: list[int]) -> None:
         """Overwrite the adjacency list of ``v`` (callers pass sorted)."""
         self._kv.put(v, _pack(neighbors))
 
+    def insert_half_edge(self, a: int, b: int) -> bool:
+        """Add ``b`` to ``a``'s adjacency list (one endpoint's half).
+
+        The half-edge primitives exist so a sharded store can route
+        each endpoint's read-modify-write to the segment that owns it:
+        edge ``(u, v)`` may live in two different segment files.
+        """
+        blob = self._kv.get(a)
+        neighbors = _unpack(blob) if blob is not None else []
+        idx = bisect.bisect_left(neighbors, b)
+        if idx >= len(neighbors) or neighbors[idx] != b:
+            neighbors.insert(idx, b)
+            self._kv.put(a, _pack(neighbors))
+            return True
+        return False
+
+    def remove_half_edge(self, a: int, b: int) -> bool:
+        """Remove ``b`` from ``a``'s adjacency list (one endpoint's half)."""
+        blob = self._kv.get(a)
+        if blob is None:
+            return False
+        neighbors = _unpack(blob)
+        idx = bisect.bisect_left(neighbors, b)
+        if idx < len(neighbors) and neighbors[idx] == b:
+            neighbors.pop(idx)
+            self._kv.put(a, _pack(neighbors))
+            return True
+        return False
+
+    def remove_vertex_record(self, v: int) -> bool:
+        """Drop ``v``'s own adjacency record (no neighbor scrubbing)."""
+        return self._kv.delete(v)
+
     def insert_edge(self, u: int, v: int) -> bool:
         """Add edge ``(u, v)``; read-modify-write on both endpoints."""
         if u == v:
             raise ValueError("self loops are not allowed")
-        changed = False
-        for a, b in ((u, v), (v, u)):
-            blob = self._kv.get(a)
-            neighbors = _unpack(blob) if blob is not None else []
-            idx = bisect.bisect_left(neighbors, b)
-            if idx >= len(neighbors) or neighbors[idx] != b:
-                neighbors.insert(idx, b)
-                self._kv.put(a, _pack(neighbors))
-                changed = True
+        changed = self.insert_half_edge(u, v)
+        changed = self.insert_half_edge(v, u) or changed
         return changed
 
     def delete_edge(self, u: int, v: int) -> bool:
         """Remove edge ``(u, v)``; returns False when absent."""
-        changed = False
-        for a, b in ((u, v), (v, u)):
-            blob = self._kv.get(a)
-            if blob is None:
-                continue
-            neighbors = _unpack(blob)
-            idx = bisect.bisect_left(neighbors, b)
-            if idx < len(neighbors) and neighbors[idx] == b:
-                neighbors.pop(idx)
-                self._kv.put(a, _pack(neighbors))
-                changed = True
+        changed = self.remove_half_edge(u, v)
+        changed = self.remove_half_edge(v, u) or changed
         return changed
 
     def delete_vertex(self, v: int) -> bool:
@@ -234,14 +312,7 @@ class GraphStore:
         if blob is None:
             return False
         for u in _unpack(blob):
-            ublob = self._kv.get(u)
-            if ublob is None:
-                continue
-            neighbors = _unpack(ublob)
-            idx = bisect.bisect_left(neighbors, v)
-            if idx < len(neighbors) and neighbors[idx] == v:
-                neighbors.pop(idx)
-                self._kv.put(u, _pack(neighbors))
+            self.remove_half_edge(u, v)
         self._kv.delete(v)
         return True
 

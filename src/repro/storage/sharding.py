@@ -1,0 +1,352 @@
+"""Hash-partitioned storage: the shard layer under the parallel engine.
+
+Production graph stores scale reads by partitioning: ε-Cost Sharding
+(Vigna 2025) shows a static filter structure can be hash-split into
+independent shards at near-zero per-shard cost, and the paper's own
+NDF is embarrassingly parallel across query pairs — ``F(f(u), f(v))``
+has no cross-pair dependencies.  This module supplies the two pieces
+that make that concrete here:
+
+- :class:`ShardRouter` — a **stable** hash of vertex id → shard.  The
+  same mixer (splitmix64's finalizer) runs scalar and vectorized, is
+  identical across processes and Python versions (no ``PYTHONHASHSEED``
+  dependence), and co-locates everything keyed by a vertex: its code
+  row, its adjacency record, and its cache entry all live with the
+  owning shard.
+- :class:`ShardedGraphStore` — S independent
+  :class:`~repro.storage.graphstore.GraphStore` segments, each backed
+  by its own log file and shard-local LRU cache, behind the exact
+  ``GraphStore`` interface.  Edge ``(u, v)`` is stored as two
+  half-edges routed to the segments owning ``u`` and ``v``; batched
+  probes partition the pair array by the owner of the *left* endpoint,
+  which is the only endpoint whose adjacency list is read.
+
+Per-segment isolation is what makes thread-pool execution safe and
+attribution exact: pool tasks touch disjoint segment files, disjoint
+caches, and disjoint ``StorageStats`` scopes, so no shared mutable
+counter is ever incremented from two threads at once.  Fault injection
+passes through per shard — wrap any subset of segments via
+``kv_factory`` and only those segments degrade.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..graph import DiGraph, Graph
+from ..obs import ReadReceipt
+from .graphstore import GraphStore
+
+__all__ = ["ShardRouter", "ShardedGraphStore"]
+
+_MASK64 = (1 << 64) - 1
+_C1 = 0xBF58476D1CE4E5B9
+_C2 = 0x94D049BB133111EB
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def _mix64(x: int) -> int:
+    """splitmix64 finalizer: the scalar reference mixer.
+
+    Pure integer arithmetic — deterministic across processes, seeds,
+    and platforms, unlike ``hash()`` under ``PYTHONHASHSEED``.
+    """
+    x = (x + _GOLDEN) & _MASK64
+    x = ((x ^ (x >> 30)) * _C1) & _MASK64
+    x = ((x ^ (x >> 27)) * _C2) & _MASK64
+    return x ^ (x >> 31)
+
+
+class ShardRouter:
+    """Stable vertex → shard assignment via splitmix64.
+
+    One router instance is shared by the codes, the storage segments,
+    and the cache layer, so a vertex's whole working set is
+    partition-local (the Hybrid Graph Representation argument for
+    keeping the hot membership structure with its partition).
+    """
+
+    def __init__(self, num_shards: int):
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.num_shards = num_shards
+
+    def shard_of(self, v: int) -> int:
+        """Owning shard of vertex ``v`` (scalar path)."""
+        return _mix64(int(v) & _MASK64) % self.num_shards
+
+    def shard_of_array(self, ids) -> np.ndarray:
+        """Vectorized :meth:`shard_of` over an id array."""
+        x = np.asarray(ids, dtype=np.int64).astype(np.uint64)
+        x = x + np.uint64(_GOLDEN)
+        x = (x ^ (x >> np.uint64(30))) * np.uint64(_C1)
+        x = (x ^ (x >> np.uint64(27))) * np.uint64(_C2)
+        x = x ^ (x >> np.uint64(31))
+        return (x % np.uint64(self.num_shards)).astype(np.int64)
+
+    def partition(self, ids) -> list[np.ndarray]:
+        """Index arrays grouping ``ids`` by owning shard, input-stable.
+
+        ``partition(us)[s]`` are the positions in ``us`` owned by shard
+        ``s``, in their original order — the merge step only needs
+        ``answers[idx] = shard_answers`` to restore input order.
+        """
+        shards = self.shard_of_array(ids)
+        if self.num_shards == 1:
+            return [np.arange(len(shards), dtype=np.int64)]
+        order = np.argsort(shards, kind="stable")
+        counts = np.bincount(shards, minlength=self.num_shards)
+        return np.split(order, np.cumsum(counts)[:-1])
+
+
+class _SummedStorageStats:
+    """Read-only aggregate over the per-segment ``StorageStats`` views."""
+
+    _FIELDS = ("disk_reads", "disk_writes", "bytes_read", "bytes_written",
+               "cache_hits", "cache_misses", "checksum_failures")
+
+    def __init__(self, segments: list[GraphStore]):
+        object.__setattr__(self, "_segments", segments)
+
+    def __getattr__(self, name: str):
+        if name in self._FIELDS:
+            return sum(getattr(seg.stats, name) for seg in self._segments)
+        raise AttributeError(f"StorageStats has no field {name!r}")
+
+    def snapshot(self) -> dict[str, int | float]:
+        return {name: getattr(self, name) for name in self._FIELDS}
+
+    def diff(self, before: dict[str, int | float]) -> dict[str, int | float]:
+        return {name: value - before.get(name, 0)
+                for name, value in self.snapshot().items()}
+
+    def reset(self) -> None:
+        for seg in self._segments:
+            seg.stats.reset()
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{k}={v}" for k, v in self.snapshot().items())
+        return f"SummedStorageStats({fields})"
+
+
+class ShardedGraphStore:
+    """S hash-partitioned ``GraphStore`` segments behind one interface.
+
+    Parameters
+    ----------
+    path:
+        Base path for the segment logs (``<path>.shard<N>``), or None
+        for in-memory segments (tests).
+    num_shards:
+        Segment count.  1 is legal and behaves like a plain store.
+    cache_bytes:
+        **Total** block-cache budget, split evenly across the
+        shard-local caches so memory use matches a same-budget
+        unsharded store.
+    kv_factory:
+        Optional ``(segment_path, shard) -> kv store`` hook.  This is
+        the per-shard fault-injection passthrough: wrap any segment in
+        a :class:`~repro.storage.faults.FaultInjectingKVStore` and only
+        that shard's reads degrade.
+    """
+
+    def __init__(self, path: str | Path | None = None, num_shards: int = 1,
+                 cache_bytes: int = 0, kv_factory=None):
+        self.router = ShardRouter(num_shards)
+        per_shard_cache = cache_bytes // num_shards if num_shards else 0
+        self._segments: list[GraphStore] = []
+        for shard in range(num_shards):
+            seg_path = self.segment_path(path, shard)
+            if kv_factory is not None:
+                store = GraphStore(kv=kv_factory(seg_path, shard))
+            else:
+                store = GraphStore(seg_path, cache_bytes=per_shard_cache)
+            self._segments.append(store)
+
+    @staticmethod
+    def segment_path(path: str | Path | None, shard: int) -> Path | None:
+        """On-disk segment file for ``shard`` (None stays in-memory)."""
+        if path is None:
+            return None
+        return Path(f"{path}.shard{shard}")
+
+    @property
+    def num_shards(self) -> int:
+        return self.router.num_shards
+
+    @property
+    def segments(self) -> list[GraphStore]:
+        """The per-shard stores (read-mostly; exposed for stats/tests)."""
+        return self._segments
+
+    def segment_of(self, v: int) -> GraphStore:
+        return self._segments[self.router.shard_of(v)]
+
+    @property
+    def stats(self) -> _SummedStorageStats:
+        """Aggregated physical I/O across every segment."""
+        return _SummedStorageStats(self._segments)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any segment's backing store saw IO faults."""
+        return any(seg.degraded for seg in self._segments)
+
+    @property
+    def num_vertices(self) -> int:
+        return sum(seg.num_vertices for seg in self._segments)
+
+    def vertices(self):
+        for seg in self._segments:
+            yield from seg.vertices()
+
+    # -- load / read -------------------------------------------------------
+
+    def bulk_load(self, graph: Graph | DiGraph) -> None:
+        """Partition every adjacency list to its owning segment."""
+        directed = isinstance(graph, DiGraph)
+        for v in graph.vertices():
+            if directed:
+                neighbors = sorted(graph.out_neighbors(v) | graph.in_neighbors(v))
+            else:
+                neighbors = graph.sorted_neighbors(v)
+            self.segment_of(v).put_neighbors(v, neighbors)
+        self.flush()
+
+    def get_neighbors(self, v: int,
+                      receipt: ReadReceipt | None = None) -> list[int]:
+        return self.segment_of(v).get_neighbors(v, receipt=receipt)
+
+    def get_neighbors_array(self, v: int,
+                            receipt: ReadReceipt | None = None) -> np.ndarray:
+        return self.segment_of(v).get_neighbors_array(v, receipt=receipt)
+
+    def get_neighbors_many(self, vertices,
+                           receipt: ReadReceipt | None = None,
+                           ) -> dict[int, np.ndarray]:
+        """Multi-get partitioned by owner: one pass per touched segment."""
+        vertices = [int(v) for v in vertices]
+        if not vertices:
+            return {}
+        by_shard: dict[int, list[int]] = {}
+        for v in vertices:
+            by_shard.setdefault(self.router.shard_of(v), []).append(v)
+        out: dict[int, np.ndarray] = {}
+        missing: list[int] = []
+        for shard, owned in by_shard.items():
+            try:
+                out.update(self._segments[shard].get_neighbors_many(
+                    owned, receipt=receipt))
+            except KeyError:
+                # Re-collect so the aggregate error names *all* missing
+                # vertices across segments, matching GraphStore.
+                missing.extend(v for v in owned
+                               if not self._segments[shard].has_vertex(v))
+        if missing:
+            raise KeyError(f"vertices {sorted(missing)} are not stored")
+        return {v: out[v] for v in dict.fromkeys(vertices)}
+
+    def has_vertex(self, v: int) -> bool:
+        return self.segment_of(v).has_vertex(v)
+
+    def has_edge(self, u: int, v: int,
+                 receipt: ReadReceipt | None = None) -> bool:
+        """One disk access against the segment owning ``u``."""
+        return self.segment_of(u).has_edge(u, v, receipt=receipt)
+
+    def probe_shard(self, shard: int, us, vs,
+                    receipt: ReadReceipt | None = None) -> np.ndarray:
+        """Blob-native batched probe against one segment.
+
+        Callers must route: every ``us[i]`` must be owned by ``shard``.
+        This is the unit of work the parallel engine hands to a pool
+        thread — the segment's multi-get, cache, and stats are all
+        shard-local, so concurrent probes of different shards share no
+        mutable state but the (locked) metrics registry.
+        """
+        return self._segments[shard].probe_edges(us, vs, receipt=receipt)
+
+    def has_edge_many(self, us, vs,
+                      receipt: ReadReceipt | None = None) -> np.ndarray:
+        """Vectorized edge queries, partitioned by owning shard.
+
+        Serial loop over the segments (the thread fan-out lives in the
+        engine, not the store); verdicts come back in input order.
+        """
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        if us.shape != vs.shape:
+            raise ValueError("endpoint arrays must be aligned")
+        answers = np.zeros(len(us), dtype=bool)
+        if len(us) == 0:
+            return answers
+        for shard, idx in enumerate(self.router.partition(us)):
+            if len(idx):
+                answers[idx] = self.probe_shard(shard, us[idx], vs[idx],
+                                                receipt=receipt)
+        return answers
+
+    # -- updates -----------------------------------------------------------
+
+    def put_neighbors(self, v: int, neighbors: list[int]) -> None:
+        self.segment_of(v).put_neighbors(v, neighbors)
+
+    def insert_edge(self, u: int, v: int) -> bool:
+        """Add ``(u, v)``: one half-edge per owning segment."""
+        if u == v:
+            raise ValueError("self loops are not allowed")
+        changed = self.segment_of(u).insert_half_edge(u, v)
+        changed = self.segment_of(v).insert_half_edge(v, u) or changed
+        return changed
+
+    def delete_edge(self, u: int, v: int) -> bool:
+        changed = self.segment_of(u).remove_half_edge(u, v)
+        changed = self.segment_of(v).remove_half_edge(v, u) or changed
+        return changed
+
+    def delete_vertex(self, v: int) -> bool:
+        """Remove ``v`` everywhere: neighbors may live on any segment."""
+        owner = self.segment_of(v)
+        if not owner.has_vertex(v):
+            return False
+        for u in owner.get_neighbors(v):
+            self.segment_of(u).remove_half_edge(u, v)
+        return owner.remove_vertex_record(v)
+
+    # -- resharding --------------------------------------------------------
+
+    def reshard(self, num_shards: int, path: str | Path | None = None,
+                cache_bytes: int = 0, kv_factory=None) -> "ShardedGraphStore":
+        """Migrate every adjacency record into an S′-shard store.
+
+        Rows move between segments but are never rewritten: resharding
+        S → S′ preserves every (vertex → adjacency) pair exactly, and
+        the in-memory codes are untouched because the router only
+        decides *placement*, never encoding.
+        """
+        target = ShardedGraphStore(path, num_shards=num_shards,
+                                   cache_bytes=cache_bytes,
+                                   kv_factory=kv_factory)
+        for seg in self._segments:
+            for v in seg.vertices():
+                target.put_neighbors(v, seg.get_neighbors(v))
+        target.flush()
+        return target
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def flush(self, sync: bool = False) -> None:
+        for seg in self._segments:
+            seg._kv.flush(sync)
+
+    def close(self) -> None:
+        for seg in self._segments:
+            seg.close()
+
+    def __enter__(self) -> "ShardedGraphStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

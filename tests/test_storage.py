@@ -599,3 +599,169 @@ class TestAtomicCompaction:
         with DiskKVStore(path) as reopened:
             for key in range(8):
                 assert reopened.get(key) == bytes([key]) * 16
+
+
+class TestLRUCacheThreadSafety:
+    def test_two_thread_hammer_keeps_books_consistent(self):
+        """Concurrent put/get/evict from two threads must never corrupt
+        the size accounting or raise — the cache is the one hot-path
+        structure shard-pool threads share."""
+        import threading
+
+        cache = LRUCache(1 << 12)
+        errors = []
+
+        def hammer(tid):
+            try:
+                for i in range(4000):
+                    key = (tid, i % 37)
+                    cache.put(key, bytes(29))
+                    cache.get(key)
+                    cache.get((1 - tid, i % 37))
+                    if i % 11 == 0:
+                        cache.evict(key)
+            except Exception as exc:  # pragma: no cover - the assertion
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(t,))
+                   for t in (0, 1)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert cache.size_bytes == sum(
+            len(cache.get(k)) for k in list(cache._data))
+        assert cache.size_bytes <= cache.capacity_bytes
+
+
+class TestBatchedReads:
+    """get_many / get_many_packed: counter parity and packed contract."""
+
+    def _loaded(self, path, count=64, cache_bytes=0):
+        store = DiskKVStore(path, cache_bytes=cache_bytes)
+        for key in range(count):
+            store.put(key, bytes([key % 251]) * (17 + key % 13))
+        store.flush()
+        return store
+
+    def test_get_many_counts_one_read_per_key(self, tmp_path):
+        """Span coalescing is physical-layer only: the logical counters
+        must book exactly one disk read per distinct uncached key, as
+        if each record had its own syscall."""
+        store = self._loaded(tmp_path / "db.log", cache_bytes=1 << 16)
+        store._cache.clear()  # puts pre-filled the cache
+        store.stats.reset()
+        keys = [3, 9, 27, 9, 44, 3]  # duplicates dedup
+        store.get_many(keys)
+        assert store.stats.disk_reads == 4
+        assert store.stats.cache_misses == 4
+        assert store.stats.cache_hits == 0
+        store.get_many(keys)  # second pass: all cache
+        assert store.stats.disk_reads == 4
+        assert store.stats.cache_hits == 4
+        store.close()
+
+    def test_packed_counts_match_get_many(self, tmp_path):
+        one = self._loaded(tmp_path / "a.log")
+        two = self._loaded(tmp_path / "b.log")
+        keys = list(range(0, 64, 3))
+        one.stats.reset(); two.stats.reset()
+        one.get_many(keys)
+        two.get_many_packed(keys)
+        assert one.stats.disk_reads == two.stats.disk_reads
+        assert one.stats.bytes_read == two.stats.bytes_read
+        one.close(); two.close()
+
+    def test_packed_returns_input_order(self, tmp_path):
+        store = self._loaded(tmp_path / "db.log")
+        keys = [40, 2, 2, 17, 5]
+        want = store.get_many(keys)
+        data, lengths = store.get_many_packed(keys)
+        offset = 0
+        for key, length in zip(keys, lengths.tolist()):
+            assert bytes(data[offset:offset + length]) == want[key]
+            offset += length
+        assert offset == len(data)
+        store.close()
+
+    def test_packed_vectorized_tier_matches_python_tier(self, tmp_path):
+        """Once every record is verified, the numpy tier takes over; it
+        must return the same bytes and book the same counters."""
+        store = self._loaded(tmp_path / "db.log")
+        keys = list(range(64))
+        cold = store.get_many_packed(keys)
+        assert store._vindex is None  # cold pass cleared crcs
+        store.stats.reset()
+        warm = store.get_many_packed(keys)
+        assert store._vindex is not None  # vectorized tier engaged
+        assert bytes(cold[0]) == bytes(warm[0])
+        assert cold[1].tolist() == warm[1].tolist()
+        assert store.stats.disk_reads == 64
+        store.close()
+
+    def test_packed_missing_keys_raise_with_list(self, tmp_path):
+        store = self._loaded(tmp_path / "db.log")
+        with pytest.raises(KeyError) as err:
+            store.get_many_packed([1, 999, 2, 1000])
+        assert sorted(err.value.args[0]) == [999, 1000]
+        store.get_many_packed(list(range(64)))  # warm the numpy tier
+        with pytest.raises(KeyError) as err:
+            store.get_many_packed([1, 999])
+        assert sorted(err.value.args[0]) == [999]
+        store.close()
+
+    def test_packed_detects_corruption_on_first_read(self, tmp_path):
+        path = tmp_path / "db.log"
+        store = self._loaded(path, count=4)
+        with open(path, "r+b") as raw:  # flip a payload byte
+            raw.seek(len(LOG_MAGIC) + _FRAME.size + 2)
+            raw.write(b"\xee")
+        with pytest.raises(CorruptRecordError, match="checksum"):
+            store.get_many_packed([0, 1, 2, 3])
+        assert store.stats.checksum_failures == 1
+        store.close()
+
+    def test_checksums_verify_once_per_open(self, tmp_path):
+        """The verify-once trade, pinned: after a clean first read the
+        crc is cleared, so later corruption behind a live store goes
+        unseen until reopen — which re-arms every checksum."""
+        path = tmp_path / "db.log"
+        store = self._loaded(path, count=4)
+        assert store.get(1) is not None  # verified now
+        payload_offset = store._index[1][0]
+        with open(path, "r+b") as raw:
+            raw.seek(payload_offset + 2)
+            raw.write(b"\xee")
+        store.get(1)  # crc cleared: no re-verification, no raise
+        store.close()
+        # Reopen re-checks everything: replay spots the bad record and
+        # truncates back to the last intact prefix.
+        with DiskKVStore(path) as reopened:
+            assert reopened.get(0) is not None
+            assert 1 not in reopened
+
+    def test_packed_serves_cache_hits(self, tmp_path):
+        store = self._loaded(tmp_path / "db.log", cache_bytes=1 << 16)
+        keys = list(range(0, 20))
+        store.get_many(keys)  # fill the cache
+        store.stats.reset()
+        data, lengths = store.get_many_packed(keys)
+        assert store.stats.disk_reads == 0
+        assert store.stats.cache_hits == len(keys)
+        want = store.get_many(keys)
+        offset = 0
+        for key, length in zip(keys, lengths.tolist()):
+            assert bytes(data[offset:offset + length]) == want[key]
+            offset += length
+        store.close()
+
+    def test_inmemory_packed_matches_disk_contract(self):
+        store = InMemoryKVStore()
+        for key in range(8):
+            store.put(key, bytes([key]) * (4 + key))
+        data, lengths = store.get_many_packed([5, 0, 5])
+        assert lengths.tolist() == [9, 4, 9]
+        assert bytes(data[:9]) == bytes([5]) * 9
+        with pytest.raises(KeyError):
+            store.get_many_packed([1, 99])
