@@ -4,12 +4,13 @@ Benchmarks run macro experiments once (``benchmark.pedantic`` with a
 single round) — they reproduce table/figure *shapes*, not nanosecond
 micro-timings.  Result tables land in ``benchmarks/results/``.
 
-The sharded-throughput benchmark additionally publishes a PR-level
-report: every payload handed to the ``bench_report`` fixture is
-collected for the session and written to ``BENCH_PR5.json`` at the
-repo root when the run ends, so the headline numbers (throughput,
-p50/p99 latency, shard/worker sweep, speedup vs the PR 1 read path)
-live next to the code they measure rather than buried in test output.
+Throughput benchmarks additionally publish PR-level reports: every
+payload handed to the ``bench_report`` fixture is collected for the
+session and written to its target report file (``BENCH_PR5.json``,
+``BENCH_PR6.json``, ...) at the repo root when the run ends, so the
+headline numbers (throughput, latency percentiles, sweep tables,
+compression ratios) live next to the code they measure rather than
+buried in test output.
 """
 
 import json
@@ -18,8 +19,7 @@ from pathlib import Path
 import pytest
 
 _REPO_ROOT = Path(__file__).resolve().parents[1]
-_PR_REPORT = _REPO_ROOT / "BENCH_PR5.json"
-_report_sections: dict = {}
+_report_sections: dict[str, dict] = {}
 
 
 @pytest.fixture
@@ -35,15 +35,16 @@ def once(benchmark):
 
 @pytest.fixture
 def bench_report():
-    """Stash a named section for the session's ``BENCH_PR5.json``."""
+    """Stash a named section for a session-level ``BENCH_PR*.json``."""
 
-    def record(section: str, payload: dict) -> None:
-        _report_sections[section] = payload
+    def record(section: str, payload: dict, *,
+               report: str = "BENCH_PR5.json") -> None:
+        _report_sections.setdefault(report, {})[section] = payload
 
     return record
 
 
 def pytest_sessionfinish(session, exitstatus):
-    if _report_sections:
-        _PR_REPORT.write_text(
-            json.dumps(_report_sections, indent=2, sort_keys=True) + "\n")
+    for report, sections in _report_sections.items():
+        (_REPO_ROOT / report).write_text(
+            json.dumps(sections, indent=2, sort_keys=True) + "\n")

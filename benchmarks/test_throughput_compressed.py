@@ -1,0 +1,296 @@
+"""Compressed / mmap / process-parallel storage tier vs the PR 5 path.
+
+The ISSUE 6 acceptance bars on the seeded 100k-probe workload (same
+graph, solution and one-probe-per-vertex pairing as the PR 5 sharded
+benchmark, so the reports chain):
+
+- StreamVByte v3 records shrink the powerlaw(n=100k, avg_degree=8)
+  adjacency log by >= 2x on disk, with bitwise-identical verdicts;
+- the best configuration answers probes at >= 1.15x the PR 5 headline
+  path.  Mirroring how the PR 5 benchmark reconstructed the PR 1 read
+  path, the baseline here is the PR 5 packed multi-get *re-installed*
+  onto a raw 4-shard store on this host — unconditional offset
+  argsort, span preads staged through ``b"".join`` + ``frombuffer``
+  (the double copy this PR removes), and the multi-pass
+  gather/scatter record assembly — so the comparison isolates exactly
+  the read-tier work this PR adds and is hardware-independent.  The
+  ops/sec recorded in BENCH_PR5.json came from different hardware and
+  is reported for reference, never asserted against;
+- the process executor is compared head-to-head against the thread
+  executor on a CPU-bound workload (fully page-cached, NDF-heavy:
+  random probes where the filter kills most storage reads, leaving
+  the GIL-bound VEND code checks as the work).  The process-beats-
+  thread assertion only arms when the host has more than one core —
+  on a single core the spawn pool adds pure IPC overhead and the
+  honest numbers say so (``cpu_count`` is recorded in the report).
+
+Emits storage-variant, sharded and executor sweeps (throughput,
+p50/p99 batch latency, on-disk bytes, compression ratio) to
+``benchmarks/results/throughput_compressed.json`` and, via the
+``bench_report`` fixture, to ``BENCH_PR6.json`` at the repo root.
+"""
+
+import json
+import os
+
+import numpy as np
+
+from repro.apps import EdgeQueryEngine, ParallelEdgeQueryEngine
+from repro.bench import make_solution, results_dir
+from repro.graph import powerlaw_graph
+from repro.storage import GraphStore, ShardedGraphStore
+
+from test_throughput_sharded import _one_probe_per_vertex, _timed_rounds
+
+N_VERTICES = 100_000
+AVG_DEGREE = 8
+K = 6
+METHOD = "hyb+"
+MIN_RATIO = 2.0
+MIN_SPEEDUP_VS_PR5 = 1.15
+#: (compress, use_mmap) storage variants.
+STORAGE_VARIANTS = [(False, False), (True, False), (False, True),
+                    (True, True)]
+#: Sharded thread-engine variants: raw/file, zero-copy, compressed.
+SHARDED_VARIANTS = [(False, False), (False, True), (True, True)]
+SHARDS = 4
+WORKERS = 4
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_PR5_FALLBACK_OPS = 2_298_851  # recorded BENCH_PR5 headline
+
+
+def _pr5_recorded_ops() -> int:
+    """Recorded 4-shard/4-worker throughput from the PR 5 report."""
+    path = os.path.join(_REPO_ROOT, "BENCH_PR5.json")
+    try:
+        with open(path) as handle:
+            sweep = json.load(handle)["sharded_parallel"]["sweep"]
+        return max(row["ops_per_sec"] for row in sweep
+                   if row["shards"] == SHARDS and row["workers"] == WORKERS)
+    except (OSError, KeyError, ValueError):
+        return _PR5_FALLBACK_OPS
+
+
+def _install_pr5_read_path(store):
+    """Regress every shard's packed multi-get to the PR 5 code.
+
+    PR 5's ``get_many_packed`` fast tier resolved locations through
+    the ``_vindex`` mirror, then *always* argsorted by offset, staged
+    the coalesced span ``pread``s through ``b"".join`` +
+    ``np.frombuffer`` (one extra whole-batch copy), and assembled
+    records with the repeat-heavy gather/scatter (separate ``within``
+    construction plus a scattered write even for an in-order request).
+    Stats booking matches the modern path — one logical disk read per
+    requested key — so engine counters stay comparable.
+    """
+
+    def regress(kv):
+        def pr5_get_many_packed(keys, receipt=None):
+            vi = kv._vindex
+            if vi is None:
+                vi = kv._vindex = kv._build_vindex()
+            karr = np.asarray(keys, dtype=np.int64)
+            vkeys, voffs, vszs, _varmed, _vrtypes, vrawszs = vi
+            pos = np.minimum(np.searchsorted(vkeys, karr), len(vkeys) - 1)
+            found = vkeys[pos] == karr
+            if not found.all():
+                raise KeyError(sorted(set(karr[~found].tolist())))
+            offs_u, szs_u = voffs[pos], vszs[pos]
+            lengths = vrawszs[pos]
+            n = len(karr)
+            starts = np.zeros(n, dtype=np.int64)
+            np.cumsum(lengths[:-1], out=starts[1:])
+            if kv._pending_flush:
+                kv._file.flush()
+                kv._pending_flush = False
+            order = np.argsort(offs_u, kind="stable")
+            offs = offs_u[order]
+            szs = szs_u[order]
+            ends = offs + szs
+            spans = kv._spans_of(offs, ends)
+            chunks = []
+            span_starts = np.zeros(len(spans), dtype=np.int64)
+            span_src = np.zeros(len(spans), dtype=np.int64)
+            acc = 0
+            for i, (lo, hi) in enumerate(spans):
+                length = int(ends[hi - 1] - offs[lo])
+                chunks.append(os.pread(kv._read_fd, length, int(offs[lo])))
+                span_starts[i] = offs[lo]
+                span_src[i] = acc
+                acc += length
+            src = np.frombuffer(b"".join(chunks), dtype=np.uint8)
+            span_of = np.zeros(n, dtype=np.int64)
+            for i, (lo, hi) in enumerate(spans):
+                span_of[lo:hi] = i
+            src_offs = span_src[span_of] + (offs - span_starts[span_of])
+            total = int(szs.sum())
+            base = np.zeros(n, dtype=np.int64)
+            np.cumsum(szs[:-1], out=base[1:])
+            within = np.arange(total, dtype=np.int64) - np.repeat(base, szs)
+            out = np.zeros(total, dtype=np.uint8)
+            slots = starts[order]
+            out[np.repeat(slots, szs) + within] = src[
+                np.repeat(src_offs, szs) + within]
+            kv.stats.inc("disk_reads", n)
+            kv.stats.inc("bytes_read", total)
+            if receipt is not None:
+                receipt.count_disk_reads(n, total)
+            return out, lengths
+
+        kv.get_many_packed = pr5_get_many_packed
+
+    for seg in store.segments:
+        regress(seg._kv)
+    return store
+
+
+def test_compressed_mmap_process_throughput(tmp_path, bench_report):
+    graph = powerlaw_graph(N_VERTICES, avg_degree=AVG_DEGREE, seed=1)
+    solution = make_solution(METHOD, K, graph)
+    us, vs = _one_probe_per_vertex(graph)
+    num_pairs = len(us)
+    solution.is_nonedge_batch([(int(us[0]), int(vs[0]))])  # warm snapshot
+
+    # PR 5 baseline: raw records, file I/O, thread engine, regressed
+    # packed read tier — the BENCH_PR5 headline configuration.
+    pr5_store = _install_pr5_read_path(
+        ShardedGraphStore(tmp_path / "pr5.db", num_shards=SHARDS,
+                          cache_bytes=0))
+    if not pr5_store.num_vertices:
+        pr5_store.bulk_load(graph)
+    with ParallelEdgeQueryEngine(pr5_store, nonedge_filter=solution,
+                                 workers=WORKERS) as engine:
+        want = engine.has_edge_batch(us, vs)
+        assert want.all()  # every probe is a real edge: nothing filtered
+        pr5_timing = _timed_rounds(lambda: engine.has_edge_batch(us, vs))
+    pr5_store.close()
+    pr5_config = {
+        "engine": "thread", "shards": SHARDS, "workers": WORKERS,
+        "compress": False, "mmap": False, "read_path": "pr5-regressed",
+        "ops_per_sec": round(num_pairs / pr5_timing["best_seconds"]),
+        **pr5_timing,
+    }
+
+    # Serial storage-variant sweep: compression x mmap, one store each.
+    raw_bytes = None
+    variants = []
+    for compress, use_mmap in STORAGE_VARIANTS:
+        name = f"c{int(compress)}m{int(use_mmap)}.db"
+        store = GraphStore(tmp_path / name, cache_bytes=0,
+                          compress=compress, use_mmap=use_mmap)
+        store.bulk_load(graph)
+        engine = EdgeQueryEngine(store, nonedge_filter=solution)
+        assert (engine.has_edge_batch(us, vs) == want).all()
+        timing = _timed_rounds(lambda: engine.has_edge_batch(us, vs))
+        on_disk = os.path.getsize(store._kv.path)
+        if not compress and not use_mmap:
+            raw_bytes = on_disk
+        ratio = round(float(store.stats.snapshot()["compression_ratio"]), 3)
+        variants.append({
+            "engine": "serial", "compress": compress, "mmap": use_mmap,
+            "ops_per_sec": round(num_pairs / timing["best_seconds"]),
+            "bytes_on_disk": on_disk,
+            "compression_ratio": ratio,
+            **timing,
+        })
+        store.close()
+
+    for row in variants:
+        if row["compress"]:
+            assert row["compression_ratio"] >= MIN_RATIO, (
+                f"compressed log only {row['compression_ratio']:.2f}x "
+                f"smaller (need {MIN_RATIO}x)")
+            assert row["bytes_on_disk"] < raw_bytes
+
+    # Sharded sweep: 4-shard/4-worker thread engine, current read
+    # tier, over the storage variants.
+    sharded_rows = []
+    for compress, use_mmap in SHARDED_VARIANTS:
+        name = f"sh_c{int(compress)}m{int(use_mmap)}.db"
+        store = ShardedGraphStore(tmp_path / name, num_shards=SHARDS,
+                                  cache_bytes=0, compress=compress,
+                                  use_mmap=use_mmap)
+        store.bulk_load(graph)
+        with ParallelEdgeQueryEngine(store, nonedge_filter=solution,
+                                     workers=WORKERS) as engine:
+            assert (engine.has_edge_batch(us, vs) == want).all()
+            timing = _timed_rounds(lambda: engine.has_edge_batch(us, vs))
+        sharded_rows.append({
+            "engine": "thread", "shards": SHARDS, "workers": WORKERS,
+            "compress": compress, "mmap": use_mmap,
+            "ops_per_sec": round(num_pairs / timing["best_seconds"]),
+            **timing,
+        })
+        store.close()
+
+    # Executor sweep: thread vs process on the CPU-bound regime — the
+    # NDF filters most random probes, so per-batch time is dominated
+    # by VEND code checks, not storage reads.  Left endpoints are
+    # drawn from stored vertices (probing an unknown vertex raises in
+    # both modes).
+    rng = np.random.default_rng(7)
+    verts = np.sort(np.fromiter(graph.vertices(), dtype=np.int64))
+    ndf_us = rng.choice(verts, num_pairs)
+    ndf_vs = rng.integers(0, N_VERTICES, num_pairs)
+    store = ShardedGraphStore(tmp_path / "exec.db", num_shards=SHARDS,
+                              cache_bytes=0, compress=True, use_mmap=True)
+    store.bulk_load(graph)
+    executors = []
+    ndf_want = None
+    for executor in ("thread", "process"):
+        with ParallelEdgeQueryEngine(store, nonedge_filter=solution,
+                                     workers=WORKERS,
+                                     executor=executor) as engine:
+            got = engine.has_edge_batch(ndf_us, ndf_vs)
+            if ndf_want is None:
+                ndf_want = got
+            assert (got == ndf_want).all()
+            timing = _timed_rounds(
+                lambda: engine.has_edge_batch(ndf_us, ndf_vs))
+        executors.append({
+            "executor": executor, "shards": SHARDS, "workers": WORKERS,
+            "compress": True, "mmap": True, "workload": "ndf-heavy",
+            "ops_per_sec": round(num_pairs / timing["best_seconds"]),
+            **timing,
+        })
+    store.close()
+
+    cpu_count = os.cpu_count() or 1
+    by_executor = {row["executor"]: row for row in executors}
+    if cpu_count > 1:
+        assert (by_executor["process"]["ops_per_sec"]
+                > by_executor["thread"]["ops_per_sec"]), (
+            "process executor did not beat thread executor on "
+            f"{cpu_count} cores")
+
+    best = max((*variants, *sharded_rows), key=lambda r: r["ops_per_sec"])
+    speedup = best["ops_per_sec"] / pr5_config["ops_per_sec"]
+    payload = {
+        "workload": {"pairs": num_pairs, "kind": "one-probe-per-vertex",
+                     "graph": f"powerlaw(n={N_VERTICES}, "
+                              f"avg_degree={AVG_DEGREE}, seed=1)",
+                     "solution": f"{METHOD}(k={K})",
+                     "store": "disk, cache_bytes=0",
+                     "cpu_count": cpu_count},
+        "pr5_baseline": pr5_config,
+        "pr5_recorded_ops_per_sec": _pr5_recorded_ops(),
+        "storage_variants": variants,
+        "sharded_sweep": sharded_rows,
+        "executor_sweep": executors,
+        "best_config": best,
+        "headline_speedup_vs_pr5": round(speedup, 2),
+    }
+    out = results_dir() / "throughput_compressed.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    bench_report("compressed_zero_copy", payload, report="BENCH_PR6.json")
+    comp = next(r for r in variants if r["compress"] and r["mmap"])
+    print(f"\ncompression {comp['compression_ratio']:.2f}x "
+          f"({comp['bytes_on_disk']:,} vs {raw_bytes:,} bytes), "
+          f"pr5 path {pr5_config['ops_per_sec']:,.0f} ops/s, "
+          f"best {best['ops_per_sec']:,.0f} ops/s "
+          f"({speedup:.2f}x) -> {out}")
+
+    assert speedup >= MIN_SPEEDUP_VS_PR5, (
+        f"best configuration only {speedup:.2f}x the PR 5 read path "
+        f"(need {MIN_SPEEDUP_VS_PR5}x)")

@@ -173,7 +173,7 @@ def test_sharded_parallel_speedup(tmp_path, bench_report):
     }
     out = results_dir() / "throughput_sharded.json"
     out.write_text(json.dumps(payload, indent=2) + "\n")
-    bench_report("sharded_parallel", payload)
+    bench_report("sharded_parallel", payload, report="BENCH_PR5.json")
     print(f"\npr1 {pr1_ops:,.0f} ops/s, serial {serial_ops:,.0f} ops/s, "
           f"4x4 {headline['ops_per_sec']:,.0f} ops/s "
           f"({headline['speedup_vs_pr1']:.2f}x) -> {out}")

@@ -50,6 +50,16 @@ class VendGraphDB:
         ``workers`` threads (default: one per shard).  The default
         ``shards=1`` keeps the original single-file store and serial
         engine, byte-for-byte.
+    compress, use_mmap:
+        Storage-tier switches, forwarded to every segment: ``compress``
+        stores adjacency blobs as StreamVByte v3 records, ``use_mmap``
+        serves the packed read tier from an mmap of the log.
+    executor:
+        ``"thread"`` (default) or ``"process"`` — how the parallel
+        engine fans out batch work.  ``"process"`` requires a
+        disk-backed path, ``cache_bytes=0``, and forces the sharded
+        store/parallel engine even at ``shards=1`` (the process
+        pipeline needs a router).
 
     ::
 
@@ -61,19 +71,27 @@ class VendGraphDB:
     def __init__(self, path: str | Path | None = None, k: int = 8,
                  method: str = "hyb+", cache_bytes: int = 0,
                  id_bits: int | None = None, shards: int = 1,
-                 workers: int | None = None):
+                 workers: int | None = None, compress: bool = False,
+                 use_mmap: bool = False, executor: str = "thread"):
         if method not in _METHODS:
             raise ValueError(f"method must be one of {sorted(_METHODS)}")
         if shards < 1:
             raise ValueError("shards must be >= 1")
+        if executor == "process" and path is None:
+            raise ValueError("executor='process' requires a disk-backed "
+                             "path (workers mmap the segment logs)")
         self.vend: _HybridBase = _METHODS[method](k=k, id_bits=id_bits)
-        if shards > 1:
+        if shards > 1 or executor == "process":
             self.store = ShardedGraphStore(path, num_shards=shards,
-                                           cache_bytes=cache_bytes)
+                                           cache_bytes=cache_bytes,
+                                           compress=compress,
+                                           use_mmap=use_mmap)
             self._engine = ParallelEdgeQueryEngine(self.store, self.vend,
-                                                   workers=workers)
+                                                   workers=workers,
+                                                   executor=executor)
         else:
-            self.store = GraphStore(path, cache_bytes=cache_bytes)
+            self.store = GraphStore(path, cache_bytes=cache_bytes,
+                                    compress=compress, use_mmap=use_mmap)
             self._engine = EdgeQueryEngine(self.store, self.vend)
         self.db_stats = DatabaseStats()
         self._built = False

@@ -21,10 +21,15 @@ Commands cover the basic operational loop of a VEND deployment:
 - ``bench`` — batched-query throughput, serial single-file engine vs
   the shard-parallel engine, with ``--check-speedup`` as a CI gate.
 
-``stats``, ``trace`` and ``audit`` accept ``--shards``/``--workers``
-(default: the ``REPRO_SHARDS`` env var, else 1) to exercise the
-hash-partitioned store and thread-pool engine instead of the serial
-path.
+``stats``, ``trace``, ``audit`` and ``bench`` accept
+``--shards``/``--workers`` (default: the ``REPRO_SHARDS`` env var,
+else 1) to exercise the hash-partitioned store and thread-pool engine
+instead of the serial path, plus the storage-tier switches
+``--compress`` (StreamVByte v3 adjacency records, default
+``$REPRO_COMPRESS``), ``--mmap`` (mmap-served packed reads, default
+``$REPRO_MMAP``) and ``--executor {thread,process}`` (default
+``$REPRO_EXECUTOR`` or ``thread``) selecting how the parallel engine
+fans out batches.
 """
 
 from __future__ import annotations
@@ -49,6 +54,12 @@ from .graph import powerlaw_graph, read_edge_list, write_edge_list
 from .workloads import common_neighbor_pairs, random_pairs
 
 __all__ = ["main", "build_parser"]
+
+
+def _env_flag(name: str) -> bool:
+    """Truthiness of an environment switch (``1``/``true``/``yes``/``on``)."""
+    return os.environ.get(name, "").strip().lower() in ("1", "true", "yes",
+                                                        "on")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -130,6 +141,19 @@ def build_parser() -> argparse.ArgumentParser:
                               "engine; default: $REPRO_SHARDS or 1)")
         sub.add_argument("--workers", type=int, default=None,
                          help="query pool threads (default: one per shard)")
+        sub.add_argument("--compress", action="store_true",
+                         default=_env_flag("REPRO_COMPRESS"),
+                         help="store adjacency blobs as StreamVByte v3 "
+                              "records (default: $REPRO_COMPRESS)")
+        sub.add_argument("--mmap", action="store_true",
+                         default=_env_flag("REPRO_MMAP"),
+                         help="serve packed reads from an mmap of the log "
+                              "(default: $REPRO_MMAP)")
+        sub.add_argument("--executor", choices=["thread", "process"],
+                         default=os.environ.get("REPRO_EXECUTOR", "thread"),
+                         help="parallel-engine fan-out mode (default: "
+                              "$REPRO_EXECUTOR or thread); process mode "
+                              "needs disk-backed, uncached segments")
 
     add_shard_args(audit)
 
@@ -319,16 +343,20 @@ def _cmd_audit(args) -> int:
         for violation in report.violations:
             print(f"  {violation.format()}")
         failed += 0 if report.ok else 1
-    if args.shards > 1:
+    if args.shards > 1 or args.executor == "process":
         from .devtools import audit_parallel_engine
 
         print(f"parallel engine sweep: shards={args.shards} "
-              f"workers={args.workers or args.shards}")
+              f"workers={args.workers or args.shards} "
+              f"executor={args.executor} compress={args.compress} "
+              f"mmap={args.mmap}")
         for name in names:
             report = audit_parallel_engine(
                 graph, create_solution(name, k=args.k),
                 shards=args.shards, workers=args.workers or args.shards,
                 seed=args.seed, pairs=args.pairs, updates=args.updates,
+                compress=args.compress, use_mmap=args.mmap,
+                executor=args.executor,
             )
             print(report.summary())
             failed += 0 if report.ok else 1
@@ -345,28 +373,48 @@ def _obs_workload(args) -> None:
     Builds a power-law graph in an in-memory :class:`VendGraphDB`,
     answers half the pair workload through the scalar path and half
     through the batched pipeline, then applies a few edge updates so
-    maintenance counters (and ``maintenance_reads``) move too.
+    maintenance counters (and ``maintenance_reads``) move too.  The
+    storage-tier switches (``--compress``/``--mmap``/``--executor
+    process``) need a real log file, so any of them flips the workload
+    to a disk-backed temporary directory; process mode additionally
+    zeroes the cache (a coordinator-side cache is invisible to
+    workers).
     """
+    import contextlib
+    import tempfile
+
     from .apps import VendGraphDB
     from .graph import powerlaw_graph
 
     graph = powerlaw_graph(args.vertices, args.avg_degree, seed=args.seed)
-    db = VendGraphDB(k=args.k, method=args.method,
-                     cache_bytes=args.cache_bytes,
-                     shards=args.shards, workers=args.workers)
-    db.load_graph(graph)
-    edges = sorted(graph.edges())[:args.updates]
-    for u, v in edges:
-        db.remove_edge(u, v)
-    for u, v in edges:
-        db.add_edge(u, v)
-    pairs = random_pairs(graph, args.pairs, seed=args.seed)
-    half = len(pairs) // 2
-    for u, v in pairs[:half]:
-        db.has_edge(u, v)
-    if pairs[half:]:
-        db.has_edge_batch(pairs[half:])
-    db.close()
+    compress = getattr(args, "compress", False)
+    use_mmap = getattr(args, "mmap", False)
+    executor = getattr(args, "executor", "thread")
+    cache_bytes = args.cache_bytes if executor == "thread" else 0
+    with contextlib.ExitStack() as stack:
+        if compress or use_mmap or executor == "process":
+            tmp = stack.enter_context(tempfile.TemporaryDirectory())
+            path = Path(tmp) / "adjacency.log"
+        else:
+            path = None
+        db = VendGraphDB(path, k=args.k, method=args.method,
+                         cache_bytes=cache_bytes,
+                         shards=args.shards, workers=args.workers,
+                         compress=compress, use_mmap=use_mmap,
+                         executor=executor)
+        db.load_graph(graph)
+        edges = sorted(graph.edges())[:args.updates]
+        for u, v in edges:
+            db.remove_edge(u, v)
+        for u, v in edges:
+            db.add_edge(u, v)
+        pairs = random_pairs(graph, args.pairs, seed=args.seed)
+        half = len(pairs) // 2
+        for u, v in pairs[:half]:
+            db.has_edge(u, v)
+        if pairs[half:]:
+            db.has_edge_batch(pairs[half:])
+        db.close()
 
 
 def _cmd_stats(args) -> int:
@@ -430,12 +478,17 @@ def _cmd_bench(args) -> int:
     us = np.asarray([u for u, _ in pairs], dtype=np.int64)
     vs = np.asarray([v for _, v in pairs], dtype=np.int64)
 
-    def throughput(shards: int, workers: int | None) -> float:
+    cache_bytes = args.cache_bytes if args.executor == "thread" else 0
+
+    def throughput(shards: int, workers: int | None,
+                   executor: str = "thread") -> float:
         with tempfile.TemporaryDirectory() as tmp:
             db = VendGraphDB(Path(tmp) / "adjacency.log", k=args.k,
                              method=args.method,
-                             cache_bytes=args.cache_bytes,
-                             shards=shards, workers=workers)
+                             cache_bytes=cache_bytes,
+                             shards=shards, workers=workers,
+                             compress=args.compress, use_mmap=args.mmap,
+                             executor=executor)
             db.load_graph(graph)
             db.has_edge_batch(us, vs)  # warm-up: page cache + checksums
             best = min(_timed_batch(db, us, vs)
@@ -444,11 +497,13 @@ def _cmd_bench(args) -> int:
         return len(pairs) / best
 
     print(f"bench graph: |V|={graph.num_vertices} |E|={graph.num_edges} "
-          f"pairs={len(pairs)} seed={args.seed}")
+          f"pairs={len(pairs)} seed={args.seed} "
+          f"compress={args.compress} mmap={args.mmap} "
+          f"executor={args.executor}")
     serial = throughput(1, None)
     print(f"serial              : {serial:>12.0f} pairs/s")
     shards = max(args.shards, 2)
-    sharded = throughput(shards, args.workers)
+    sharded = throughput(shards, args.workers, args.executor)
     speedup = sharded / serial
     print(f"sharded s={shards} w={args.workers or shards}     : "
           f"{sharded:>12.0f} pairs/s  ({speedup:.2f}x)")

@@ -279,10 +279,35 @@ _PARITY_FIELDS = ("total", "filtered", "executed", "cache_served",
                   "disk_served", "positives")
 
 
+def _load_mixed_log(open_store, graph: Graph, compress: bool,
+                    use_mmap: bool):
+    """Load ``graph`` so the log mixes record formats when compressing.
+
+    The first half of the vertices is written through a plain v2
+    (raw-record) store; the store is then closed and reopened with the
+    audit's target configuration for the second half.  With
+    ``compress`` on, the resulting log replays raw v2 records and
+    StreamVByte v3 records side by side — the mixed-format regime the
+    compressed read tier must serve bit-for-bit.
+    """
+    verts = sorted(graph.vertices())
+    half = len(verts) // 2
+    store = open_store(False, False)
+    for v in verts[:half]:
+        store.put_neighbors(v, graph.sorted_neighbors(v))
+    store.close()
+    store = open_store(compress, use_mmap)
+    for v in verts[half:]:
+        store.put_neighbors(v, graph.sorted_neighbors(v))
+    return store
+
+
 def audit_parallel_engine(graph: Graph, solution: VendSolution,
                           shards: int = 4, workers: int = 4,
                           seed: int = 0, pairs: int = 2000,
-                          updates: int = 25) -> ParallelAuditReport:
+                          updates: int = 25, compress: bool = False,
+                          use_mmap: bool = False, executor: str = "thread",
+                          workdir=None) -> ParallelAuditReport:
     """Differential audit of the shard-parallel engine vs the serial one.
 
     Runs the same seeded workload through a serial
@@ -298,19 +323,47 @@ def audit_parallel_engine(graph: Graph, solution: VendSolution,
       the serial engine's exactly (per-shard dedup == global dedup);
     - **attribution** — per-shard ``cache_served + disk_served`` series
       sum exactly to the engine totals despite thread fan-out.
+
+    ``compress``/``use_mmap``/``executor`` sweep the PR 6 storage tier:
+    any of them switches both sides to disk-backed stores (under
+    ``workdir``, or a temporary directory) whose logs are loaded in two
+    halves — raw v2 records first, then the target format — so a
+    compressed audit always replays a mixed v2→v3 log.
+    ``executor="process"`` additionally runs the parallel side on the
+    spawn-based process pool with shared-memory code publication.
     """
+    import contextlib
+    import tempfile
+    from pathlib import Path
+
     import numpy as np
 
     from ..apps.edge_query import EdgeQueryEngine, ParallelEdgeQueryEngine
     from ..storage import GraphStore, ShardedGraphStore
 
-    serial_store = GraphStore()
-    serial_store.bulk_load(graph)
-    sharded_store = ShardedGraphStore(num_shards=shards)
-    sharded_store.bulk_load(graph)
+    stack = contextlib.ExitStack()
+    needs_disk = compress or use_mmap or executor == "process"
+    if needs_disk:
+        if workdir is None:
+            workdir = stack.enter_context(tempfile.TemporaryDirectory())
+        base = Path(workdir)
+        serial_store = _load_mixed_log(
+            lambda c, m: GraphStore(base / "serial.log", compress=c,
+                                    use_mmap=m),
+            graph, compress, use_mmap)
+        sharded_store = _load_mixed_log(
+            lambda c, m: ShardedGraphStore(base / "sharded.log",
+                                           num_shards=shards, compress=c,
+                                           use_mmap=m),
+            graph, compress, use_mmap)
+    else:
+        serial_store = GraphStore()
+        serial_store.bulk_load(graph)
+        sharded_store = ShardedGraphStore(num_shards=shards)
+        sharded_store.bulk_load(graph)
     serial = EdgeQueryEngine(serial_store, solution)
     parallel = ParallelEdgeQueryEngine(sharded_store, solution,
-                                       workers=workers)
+                                       workers=workers, executor=executor)
     report = ParallelAuditReport(
         solution=getattr(solution, "name", "?"), shards=shards,
         workers=workers, seed=seed,
@@ -361,4 +414,7 @@ def audit_parallel_engine(graph: Graph, solution: VendSolution,
             report.attribution_mismatches.append(
                 f"{name}: shard_sum={shard_sum} engine={parallel_value}")
     parallel.close()
+    serial_store.close()
+    sharded_store.close()
+    stack.close()
     return report

@@ -135,6 +135,24 @@ class StatsView:
         fields = ", ".join(f"{k}={v}" for k, v in self.snapshot().items())
         return f"{type(self).__name__}({fields})"
 
+    # -- pickling ----------------------------------------------------------
+    #
+    # Process-pool workers receive NDF solutions whose stats views would
+    # otherwise drag the whole MetricsRegistry (and its locks) across
+    # the pickle boundary.  A view pickles as just its labels and
+    # reconnects to the *worker's* default registry on unpickle — the
+    # coordinator's registry stays the single source of truth, and any
+    # counters a worker bumps are deliberately local scratch.
+
+    def __getstate__(self) -> dict:
+        labels = dict(self.__dict__["_label_values"])
+        scope = labels.pop(self._SCOPE)
+        return {"scope": scope, "labels": labels}
+
+    def __setstate__(self, state: dict) -> None:
+        StatsView.__init__(self, registry=None, scope=state["scope"],
+                           **state["labels"])
+
 
 class StorageStats(StatsView):
     """Counters for physical storage activity (one KV store)."""
@@ -142,7 +160,9 @@ class StorageStats(StatsView):
     _PREFIX = "repro_storage"
     _SCOPE = "store"
     _COUNTERS = ("disk_reads", "disk_writes", "bytes_read", "bytes_written",
-                 "cache_hits", "cache_misses", "checksum_failures")
+                 "cache_hits", "cache_misses", "checksum_failures",
+                 "compressed_puts", "blob_bytes_raw", "blob_bytes_stored")
+    _GAUGES = ("compression_ratio",)
     _HELP = {
         "disk_reads": "Physical record reads that reached the log file",
         "disk_writes": "Records appended to the log file",
@@ -151,6 +171,11 @@ class StorageStats(StatsView):
         "cache_hits": "Reads absorbed by the block cache",
         "cache_misses": "Reads the block cache could not serve",
         "checksum_failures": "Records failing CRC or size validation",
+        "compressed_puts": "Puts stored under a StreamVByte blob record",
+        "blob_bytes_raw": "Uncompressed bytes of compressed-put payloads",
+        "blob_bytes_stored": "On-log bytes of compressed-put payloads",
+        "compression_ratio": "Live raw bytes / live stored bytes "
+                             "(1.0 when nothing is stored)",
     }
 
 

@@ -12,6 +12,30 @@ and is undone with an in-register shift+add prefix sum.
 
 Both a scalar decoder and the SIMD (LUT + shuffle) decoder are
 provided; the ablation benchmark compares them.
+
+Adjacency-blob codec (DESIGN.md §12).  The storage tier compresses
+each vertex's sorted ``uint32`` adjacency list with the same Stream
+VByte primitives, but under a *blob* layout tuned for the power-law
+degree distribution (half the vertices have degree <= 1, so fixed
+per-blob headers dominate naive framing):
+
+- ``BLOB_SINGLE`` — one value; the payload is just its minimal
+  little-endian bytes (1-4), no control byte: the byte length *is* the
+  payload length.
+- ``BLOB_GROUP`` — 2..4 values; ``[control][data]`` with no count
+  field: lane-length prefix sums are strictly increasing, so the
+  payload size determines the value count uniquely.
+- ``BLOB_MULTI`` — 5+ values; ``[LEB128 count][controls][data]``.
+  The final partial group stores only its active lanes' bytes (no
+  padding).
+
+Unlike :func:`encode` (which restarts deltas at every group, one
+SS-tree node at a time), blobs delta-code **continuously across the
+whole list**: the first value is stored as a delta from zero and every
+later value as the gap to its predecessor — the per-group restart
+would re-widen one delta in four.  :func:`decode_blobs_packed` undoes
+it for thousands of blobs at once with the shuffle LUT and one global
+``cumsum``.
 """
 
 from __future__ import annotations
@@ -28,6 +52,16 @@ __all__ = [
     "decode_group_simd",
     "decode_group_scalar",
     "data_length",
+    "BLOB_SINGLE",
+    "BLOB_GROUP",
+    "BLOB_MULTI",
+    "blob_layout",
+    "encode_blob",
+    "blob_count",
+    "decode_blob",
+    "decode_blobs_packed",
+    "leb128_encode",
+    "leb128_decode",
 ]
 
 #: Values per control byte — fixed at 4 by the 2-bits-per-length format.
@@ -51,6 +85,12 @@ def _build_tables() -> tuple[np.ndarray, np.ndarray, np.ndarray]:
 
 
 _LANE_LENGTHS, _TOTAL_LENGTHS, _SHUFFLE_MASKS = _build_tables()
+#: Per-control mask of shuffle positions that gather real data bytes
+#: (False lanes are the zero-fill positions of the pshufb mask).
+_SHUFFLE_KEEP = _SHUFFLE_MASKS != SHUFFLE_ZERO
+#: Shuffle offsets with the zero-fill sentinel replaced by 0, so a bulk
+#: gather stays in bounds; the fill lanes are zeroed via _SHUFFLE_KEEP.
+_SHUFFLE_SAFE = np.where(_SHUFFLE_KEEP, _SHUFFLE_MASKS, 0).astype(np.uint8)
 
 
 def _byte_length(value: int) -> int:
@@ -157,3 +197,249 @@ def decode(controls: bytes, data: bytes, count: int,
             )
         offset += data_length(control, active)
     return values
+
+
+# ---------------------------------------------------------------------------
+# Adjacency-blob codec (storage v3 records — see module docstring).
+# ---------------------------------------------------------------------------
+
+#: Blob layouts.  The storage layer maps each to its own record type, so
+#: the layout never needs an in-payload tag byte.
+BLOB_SINGLE = 1
+BLOB_GROUP = 2
+BLOB_MULTI = 3
+
+
+def blob_layout(count: int) -> int:
+    """Layout used for a blob of ``count`` values (``count >= 1``)."""
+    if count < 1:
+        raise ValueError("a blob holds at least one value")
+    if count == 1:
+        return BLOB_SINGLE
+    if count <= GROUP_SIZE:
+        return BLOB_GROUP
+    return BLOB_MULTI
+
+
+def leb128_encode(value: int) -> bytes:
+    """Unsigned LEB128 (7 data bits per byte, high bit = continuation)."""
+    if value < 0:
+        raise ValueError("LEB128 encodes unsigned integers")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def leb128_decode(buf, pos: int = 0) -> tuple[int, int]:
+    """Decode one LEB128 integer; returns ``(value, bytes_consumed)``."""
+    value = 0
+    for i in range(5):  # 5 bytes cover the 32-bit counts blobs can hold
+        if pos + i >= len(buf):
+            raise ValueError("truncated LEB128 varint")
+        byte = buf[pos + i]
+        value |= (byte & 0x7F) << (7 * i)
+        if not byte & 0x80:
+            return value, i + 1
+    raise ValueError("LEB128 varint longer than 5 bytes")
+
+
+def _leb128_lengths(counts: np.ndarray) -> np.ndarray:
+    """Vectorized LEB128 byte lengths for positive ``counts``."""
+    return (
+        1
+        + (counts >= 1 << 7).astype(np.int64)
+        + (counts >= 1 << 14).astype(np.int64)
+        + (counts >= 1 << 21).astype(np.int64)
+        + (counts >= 1 << 28).astype(np.int64)
+    )
+
+
+def encode_blob(values) -> bytes:
+    """Encode a non-decreasing uint32 sequence under its blob layout.
+
+    Deltas run continuously across the whole sequence (first value is a
+    delta from zero); the final partial group stores no padding bytes.
+    Raises ``ValueError`` for empty input, values outside uint32, or a
+    decreasing sequence.
+    """
+    arr = np.asarray(values, dtype=np.int64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("encode_blob needs a non-empty 1-d sequence")
+    if int(arr.min()) < 0 or int(arr.max()) >> 32:
+        raise ValueError("blob values must fit in unsigned 32-bit lanes")
+    deltas = arr.copy()
+    deltas[1:] -= arr[:-1]
+    if arr.size > 1 and int(deltas[1:].min()) < 0:
+        raise ValueError("delta coding needs a non-decreasing sequence")
+    count = int(arr.size)
+    if count == 1:
+        return int(arr[0]).to_bytes(_byte_length(int(arr[0])), "little")
+    byte_lens = (
+        1
+        + (deltas > 0xFF).astype(np.int64)
+        + (deltas > 0xFFFF).astype(np.int64)
+        + (deltas > 0xFFFFFF).astype(np.int64)
+    )
+    codes = np.zeros(((count + 3) // 4) * 4, dtype=np.int64)
+    codes[:count] = byte_lens - 1
+    controls = (
+        codes[0::4] | codes[1::4] << 2 | codes[2::4] << 4 | codes[3::4] << 6
+    ).astype(np.uint8)
+    data = np.zeros(int(byte_lens.sum()), dtype=np.uint8)
+    starts = np.zeros(count, dtype=np.int64)
+    np.cumsum(byte_lens[:-1], out=starts[1:])
+    for shift in range(4):
+        lane = byte_lens > shift
+        data[starts[lane] + shift] = (deltas[lane] >> (8 * shift)) & 0xFF
+    if count <= GROUP_SIZE:
+        return controls.tobytes() + data.tobytes()
+    return leb128_encode(count) + controls.tobytes() + data.tobytes()
+
+
+def blob_count(layout: int, payload: bytes) -> int:
+    """Value count of an encoded blob, validating its structure.
+
+    Used by log replay to reject malformed (torn) v3 payloads, and by
+    the read path to size outputs without decoding.
+    """
+    size = len(payload)
+    if layout == BLOB_SINGLE:
+        if not 1 <= size <= 4:
+            raise ValueError("single-value blob payload must be 1..4 bytes")
+        return 1
+    if layout == BLOB_GROUP:
+        if size < 2:
+            raise ValueError("group blob needs a control byte and data")
+        prefix = np.cumsum(_LANE_LENGTHS[payload[0]])
+        hits = np.flatnonzero(prefix == size - 1)
+        if hits.size == 0 or hits[0] == 0:
+            raise ValueError("group blob size matches no lane count in 2..4")
+        return int(hits[0]) + 1
+    if layout == BLOB_MULTI:
+        count, header = leb128_decode(payload)
+        if count <= GROUP_SIZE:
+            raise ValueError("multi-group blob must hold 5+ values")
+        groups = (count + 3) // 4
+        if header + groups > size:
+            raise ValueError("multi-group blob truncated in control bytes")
+        controls = np.frombuffer(payload, dtype=np.uint8,
+                                 count=groups, offset=header)
+        lane_lens = _LANE_LENGTHS[controls]
+        active = np.minimum(count - 4 * np.arange(groups, dtype=np.int64), 4)
+        mask = np.arange(GROUP_SIZE)[None, :] < active[:, None]
+        expected = header + groups + int((lane_lens * mask).sum())
+        if expected != size:
+            raise ValueError(
+                f"multi-group blob is {size} bytes, layout implies {expected}"
+            )
+        return count
+    raise ValueError(f"unknown blob layout {layout}")
+
+
+def decode_blob(layout: int, payload: bytes) -> np.ndarray:
+    """Decode one blob back to its uint32 values (via the bulk path)."""
+    src = np.frombuffer(payload, dtype=np.uint8)
+    count = blob_count(layout, payload)
+    return decode_blobs_packed(
+        src,
+        np.zeros(1, dtype=np.int64),
+        np.array([len(payload)], dtype=np.int64),
+        np.array([count], dtype=np.int64),
+        np.array([layout], dtype=np.int64),
+    )
+
+
+def decode_blobs_packed(src: np.ndarray, offsets: np.ndarray,
+                        sizes: np.ndarray, counts: np.ndarray,
+                        layouts: np.ndarray) -> np.ndarray:
+    """Bulk-decode many blobs packed in one uint8 buffer.
+
+    ``src`` holds every payload; blob ``i`` occupies
+    ``src[offsets[i]:offsets[i]+sizes[i]]`` with ``counts[i]`` values
+    under ``layouts[i]``.  Returns all values concatenated in blob
+    order as one uint32 array — a single shuffle-LUT gather plus one
+    global cumsum, no per-blob Python loop.
+
+    Callers must pass counts from :func:`blob_count` (or the storage
+    index); structure is *not* revalidated here.
+    """
+    src = np.asarray(src, dtype=np.uint8)
+    offsets = np.asarray(offsets, dtype=np.int64)
+    sizes = np.asarray(sizes, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    layouts = np.asarray(layouts, dtype=np.int64)
+    total = int(counts.sum())
+    out = np.empty(total, dtype=np.uint32)
+    value_start = np.zeros(counts.size, dtype=np.int64)
+    np.cumsum(counts[:-1], out=value_start[1:])
+
+    single = layouts == BLOB_SINGLE
+    if single.any():
+        s_off = offsets[single]
+        s_size = sizes[single]
+        vals = np.zeros(s_off.size, dtype=np.int64)
+        for shift in range(4):
+            m = s_size > shift
+            vals[m] |= src[s_off[m] + shift].astype(np.int64) << (8 * shift)
+        out[value_start[single]] = vals.astype(np.uint32)
+
+    grouped = ~single
+    if grouped.any():
+        g_off = offsets[grouped]
+        g_count = counts[grouped]
+        g_layout = layouts[grouped]
+        groups = (g_count + 3) // 4
+        header = np.where(g_layout == BLOB_MULTI, _leb128_lengths(g_count), 0)
+        ctrl_start = g_off + header
+        data_start = ctrl_start + groups  # GROUP blobs have exactly 1 group
+        total_groups = int(groups.sum())
+        blob_of = np.repeat(np.arange(g_off.size, dtype=np.int64), groups)
+        group_base = np.zeros(g_off.size, dtype=np.int64)
+        np.cumsum(groups[:-1], out=group_base[1:])
+        within = np.arange(total_groups, dtype=np.int64) - np.repeat(
+            group_base, groups)
+        controls = src[ctrl_start[blob_of] + within]
+        lane_lens = _LANE_LENGTHS[controls]                   # (G, 4)
+        active = np.minimum(g_count[blob_of] - 4 * within, 4)
+        lane_mask = np.arange(GROUP_SIZE)[None, :] < active[:, None]
+        consumed = (lane_lens * lane_mask).sum(axis=1)
+        data_cum = np.cumsum(consumed) - consumed             # exclusive
+        data_off = data_cum - np.repeat(data_cum[group_base], groups)
+        group_data = data_start[blob_of] + data_off
+
+        # Narrow index math when the buffer allows it — the (G, 16)
+        # gather index is the decoder's largest intermediate.
+        idx_dtype = np.int32 if src.size < (1 << 31) else np.int64
+        gather_idx = (group_data.astype(idx_dtype, copy=False)[:, None]
+                      + _SHUFFLE_SAFE[controls])
+        # Only groups whose 16-byte shuffle window overhangs the buffer
+        # end need clamping (overhang lanes are masked below anyway) —
+        # clamp those rows instead of min-ing the whole index.
+        tail = np.flatnonzero(group_data > src.size - 16)
+        if tail.size:
+            gather_idx[tail] = np.minimum(gather_idx[tail], src.size - 1)
+        gathered = src[gather_idx]
+        gathered *= _SHUFFLE_KEEP[controls]  # zero the pshufb fill lanes
+        lanes32 = (
+            np.ascontiguousarray(gathered)
+            .view("<u4")
+            .reshape(total_groups, GROUP_SIZE)
+        )
+        deltas = lanes32[lane_mask]  # row-major: groups then lanes, in order
+        summed = np.cumsum(deltas, dtype=np.int64)
+        first = np.zeros(g_off.size, dtype=np.int64)
+        np.cumsum(g_count[:-1], out=first[1:])
+        blob_excl = summed[first] - deltas[first]
+        vals = summed - np.repeat(blob_excl, g_count)
+        targets = np.repeat(value_start[grouped], g_count) + (
+            np.arange(int(g_count.sum()), dtype=np.int64)
+            - np.repeat(first, g_count)
+        )
+        out[targets] = vals.astype(np.uint32)
+    return out

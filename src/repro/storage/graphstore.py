@@ -17,7 +17,7 @@ from ..graph import DiGraph, Graph
 from ..obs import ReadReceipt, StorageStats, default_tracer
 from .kvstore import DiskKVStore, InMemoryKVStore
 
-__all__ = ["GraphStore"]
+__all__ = ["GraphStore", "membership_sweep"]
 
 
 def _pack(neighbors: list[int]) -> bytes:
@@ -30,6 +30,29 @@ def _unpack(blob: bytes) -> list[int]:
 
 #: Vertex IDs are stored as uint32; probes outside this range miss.
 _ID_LIMIT = 2**32
+
+
+def membership_sweep(data: np.ndarray, counts: np.ndarray,
+                     group: np.ndarray, vs: np.ndarray) -> np.ndarray:
+    """One searchsorted answering many per-list membership probes.
+
+    ``data`` is the uint8 concatenation of sorted uint32 adjacency
+    lists with ``counts[i]`` values each; probe ``j`` asks whether
+    ``vs[j]`` is in list ``group[j]``.  Every list is shifted into a
+    disjoint value range so a single global ``searchsorted`` answers
+    all probes at once.  Shared by the batched probe paths and the
+    process-pool shard workers.
+    """
+    if data.size == 0:
+        return np.zeros(len(vs), dtype=bool)
+    base = np.arange(len(counts), dtype=np.int64) * _ID_LIMIT
+    combined = (data.view(np.uint32).astype(np.int64)
+                + np.repeat(base, counts))
+    valid = (vs >= 0) & (vs < _ID_LIMIT)
+    probes = vs + base[group]
+    pos = np.searchsorted(combined, probes)
+    pos = np.minimum(pos, len(combined) - 1)
+    return (combined[pos] == probes) & valid
 
 
 def _probe(blob: bytes, v: int) -> bool:
@@ -58,16 +81,21 @@ class GraphStore:
         A pre-built KV store (e.g. a
         :class:`~repro.storage.faults.FaultInjectingKVStore` wrapping a
         disk store).  Overrides ``path``/``cache_bytes`` when given.
+    compress / use_mmap:
+        Forwarded to :class:`~repro.storage.kvstore.DiskKVStore`
+        (StreamVByte blob records / mmap read path).  Ignored for
+        in-memory and pre-built stores.
     """
 
     def __init__(self, path: str | Path | None = None, cache_bytes: int = 0,
-                 kv=None):
+                 kv=None, compress: bool = False, use_mmap: bool = False):
         if kv is not None:
             self._kv = kv
         elif path is None:
             self._kv = InMemoryKVStore(cache_bytes=cache_bytes)
         else:
-            self._kv = DiskKVStore(path, cache_bytes=cache_bytes)
+            self._kv = DiskKVStore(path, cache_bytes=cache_bytes,
+                                   compress=compress, use_mmap=use_mmap)
 
     @property
     def stats(self) -> StorageStats:
@@ -235,16 +263,7 @@ class GraphStore:
                 lengths = np.fromiter(
                     (len(blob) for blob in blobs.values()),
                     dtype=np.int64, count=len(blobs)) // 4
-        if data.size == 0:
-            return np.zeros(len(us), dtype=bool)
-        base = np.arange(len(lengths), dtype=np.int64) * _ID_LIMIT
-        combined = (data.view(np.uint32).astype(np.int64)
-                    + np.repeat(base, lengths))
-        valid = (vs >= 0) & (vs < _ID_LIMIT)
-        probes = vs + base[group]
-        pos = np.searchsorted(combined, probes)
-        pos = np.minimum(pos, len(combined) - 1)
-        return (combined[pos] == probes) & valid
+        return membership_sweep(data, lengths, group, vs)
 
     # -- updates -------------------------------------------------------------
 

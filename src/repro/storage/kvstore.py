@@ -26,6 +26,29 @@ appending v1 records until :meth:`DiskKVStore.compact` rewrites it,
 which always emits v2 and is itself atomic (temp file + fsync +
 ``os.replace``).
 
+Compression (DESIGN.md §12, the **v3 records**).  With
+``compress=True`` a ``put`` whose value parses as a non-decreasing
+``uint32`` adjacency blob is stored StreamVByte-delta-compressed under
+one of three new record types inside the same v2 frame (so v2 and v3
+records interleave freely in one log and old stores replay new logs'
+prefixes): ``0x03`` single-value, ``0x04`` one-group, ``0x05``
+multi-group — the type encodes the blob layout, the frame's length the
+payload size, and together they determine the value count with no
+per-record header bytes.  Values that don't qualify (or don't shrink)
+stay raw ``0x01`` puts.  All read paths decode transparently; the
+``compression_ratio`` gauge tracks live raw bytes over live stored
+bytes.
+
+mmap (``use_mmap=True``).  The packed read tier serves gathers from an
+``np.frombuffer`` view of an ``mmap`` of the log — straight off the
+page cache, no read syscalls, no intermediate buffer.  The map is
+remapped lazily when the log grows and dropped on compaction (the old
+inode dies) — exported views keep the old map alive until garbage
+collected, so in-flight batches stay safe while new reads see the new
+log.  Whenever the map is unavailable (fault-injection wrapper,
+mid-compaction, platforms without mmap) reads fall back to
+positional-read span gathers.
+
 ``InMemoryKVStore`` implements the same interface (including the
 block cache and its statistics) for fast unit tests.
 """
@@ -33,6 +56,7 @@ block cache and its statistics) for fast unit tests.
 from __future__ import annotations
 
 import logging
+import mmap
 import operator
 import os
 import struct
@@ -42,6 +66,13 @@ from pathlib import Path
 import numpy as np
 
 from ..obs import ReadReceipt, StorageStats, default_tracer
+from ..simd.streamvbyte import (
+    blob_count,
+    blob_layout,
+    decode_blob,
+    decode_blobs_packed,
+    encode_blob,
+)
 from .cache import LRUCache
 
 __all__ = [
@@ -51,6 +82,7 @@ __all__ = [
     "CorruptRecordError",
     "LOG_MAGIC",
     "MAX_VALUE_BYTES",
+    "assemble_packed",
 ]
 
 logger = logging.getLogger(__name__)
@@ -65,6 +97,14 @@ _FRAME = struct.Struct("<BqII")  # type, key, length, crc32
 _CRC_PREFIX = struct.Struct("<BqI")  # the frame fields the crc covers
 _REC_PUT = 0x01
 _REC_TOMBSTONE = 0x02
+# v3 compressed-put record types: same frame, StreamVByte blob payload.
+# ``rtype - _BLOB_TYPE_BASE`` is the streamvbyte blob layout
+# (BLOB_SINGLE/BLOB_GROUP/BLOB_MULTI).
+_REC_PUT_SVB1 = 0x03
+_REC_PUT_SVBG = 0x04
+_REC_PUT_SVBM = 0x05
+_BLOB_TYPE_BASE = 0x02
+_BLOB_RECORD_TYPES = frozenset((_REC_PUT_SVB1, _REC_PUT_SVBG, _REC_PUT_SVBM))
 
 #: Largest storable value.  The v1 tombstone sentinel occupies length
 #: 2^32-1, so any value whose length would reach the sentinel is
@@ -120,6 +160,66 @@ def _fsync_dir(directory: Path) -> None:
         os.close(fd)
 
 
+def assemble_packed(src: np.ndarray, offs: np.ndarray, szs: np.ndarray,
+                    rtypes: np.ndarray, rawszs: np.ndarray,
+                    out: np.ndarray, slots: np.ndarray) -> None:
+    """Scatter stored records — raw or compressed — into decoded form.
+
+    ``src`` is any uint8 buffer (a span gather, an mmap view, a shared
+    memory segment) holding record ``i``'s stored payload at
+    ``offs[i]`` with stored size ``szs[i]``; its decoded bytes land at
+    ``out[slots[i]:slots[i] + rawszs[i]]``.  Raw records are one
+    whole-batch gather; compressed records are one
+    :func:`~repro.simd.streamvbyte.decode_blobs_packed` pass.  Shared
+    by the packed read tiers and the process-pool shard workers.
+    """
+    raw = rtypes == _REC_PUT
+    if raw.any():
+        all_raw = bool(raw.all())
+        r_offs = offs if all_raw else offs[raw]
+        r_szs = szs if all_raw else szs[raw]
+        r_slots = slots if all_raw else slots[raw]
+        total = int(r_szs.sum())
+        base = np.zeros(len(r_szs), dtype=np.int64)
+        np.cumsum(r_szs[:-1], out=base[1:])
+        # Gather index: byte j of record i lives at offs[i] + j, i.e.
+        # (offs[i] - base[i]) + (base[i] + j) — one repeat + one arange.
+        idx = np.repeat(r_offs - base, r_szs)
+        idx += np.arange(total, dtype=np.int64)
+        if len(r_slots) and int(r_slots[0]) == 0 and np.array_equal(
+                r_slots, base):
+            # Records land back to back in request order (the packed
+            # tiers' common case): gather straight into the output.
+            np.take(src, idx, out=out[:total])
+        else:
+            dest = np.repeat(r_slots - base, r_szs)
+            dest += np.arange(total, dtype=np.int64)
+            out[dest] = src[idx]
+    comp = ~raw
+    if comp.any():
+        all_comp = bool(comp.all())
+        c_raw = rawszs if all_comp else rawszs[comp]
+        c_slots = slots if all_comp else slots[comp]
+        values = decode_blobs_packed(src,
+                                     offs if all_comp else offs[comp],
+                                     szs if all_comp else szs[comp],
+                                     c_raw // 4,
+                                     (rtypes if all_comp else rtypes[comp])
+                                     - _BLOB_TYPE_BASE)
+        total = int(c_raw.sum())
+        base = np.zeros(len(c_raw), dtype=np.int64)
+        np.cumsum(c_raw[:-1], out=base[1:])
+        decoded = values.astype("<u4", copy=False).view(np.uint8)
+        if len(c_slots) and int(c_slots[0]) == 0 and np.array_equal(
+                c_slots, base):
+            # Blobs land back to back in request order: one flat copy.
+            out[:total] = decoded
+        else:
+            dest = np.repeat(c_slots - base, c_raw)
+            dest += np.arange(total, dtype=np.int64)
+            out[dest] = decoded
+
+
 class DiskKVStore:
     """Append-only log store with integer keys and bytes values.
 
@@ -136,20 +236,46 @@ class DiskKVStore:
         When True (default), every physical read of a v2 record is
         re-checksummed and a mismatch raises :class:`CorruptRecordError`
         (RocksDB verifies block checksums on read the same way).
+    compress:
+        When True, eligible values (non-decreasing uint32 blobs that
+        actually shrink) are stored as v3 StreamVByte records.  Reads
+        decode transparently either way, and a store opened with
+        ``compress=False`` still reads any v3 records already in its
+        log.
+    use_mmap:
+        When True, the packed read tier gathers from an mmap view of
+        the log (falling back to positional reads when mapping fails).
     """
 
     def __init__(self, path: str | Path, cache_bytes: int = 0,
-                 verify_reads: bool = True):
+                 verify_reads: bool = True, compress: bool = False,
+                 use_mmap: bool = False):
         self.path = Path(path)
         self.stats = StorageStats()
         self.verify_reads = verify_reads
-        # key -> (payload offset, payload size, frame crc32 or None for v1)
-        self._index: dict[int, tuple[int, int, int | None]] = {}
+        self._compress = bool(compress)
+        self._use_mmap = bool(use_mmap)
+        self._mmap: mmap.mmap | None = None
+        self._mmap_np: np.ndarray | None = None
+        # Bumped on every index mutation (put/delete/compact/recovery
+        # truncation): shared-memory mirrors published to process-pool
+        # workers key their staleness off this counter.
+        self.mutation_count = 0
+        # Live-set compression accounting backing the
+        # ``compression_ratio`` gauge: decoded vs stored bytes of every
+        # currently-indexed record.
+        self._live_raw = 0
+        self._live_stored = 0
+        # key -> (payload offset, stored size, frame crc32 or None for
+        # v1 / already verified, record type, decoded size).  Stored
+        # and decoded sizes coincide for raw records.
+        self._index: dict[int, tuple[int, int, int | None, int, int]] = {}
         # Sorted-array mirror of ``_index`` for vectorized multi-get:
-        # (keys, offsets, sizes, crc-armed) as numpy arrays, rebuilt
-        # lazily after any index mutation (``None`` = stale).
+        # (keys, offsets, sizes, crc-armed, record types, raw sizes) as
+        # numpy arrays, rebuilt lazily after any index mutation
+        # (``None`` = stale).
         self._vindex: tuple[np.ndarray, np.ndarray, np.ndarray,
-                            np.ndarray] | None = None
+                            np.ndarray, np.ndarray, np.ndarray] | None = None
         self._cache = LRUCache(cache_bytes) if cache_bytes > 0 else None
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._file = open(self.path, "a+b")
@@ -160,6 +286,7 @@ class DiskKVStore:
             self._file.flush()
         else:
             self._replay()
+            self._recount_live_bytes()
         # One read descriptor held open for the store's whole life:
         # every record read is an ``os.pread`` against it, which (a)
         # never reopens or seeks per block, and (b) carries its own
@@ -186,22 +313,59 @@ class DiskKVStore:
     def keys(self):
         return self._index.keys()
 
+    def _make_record(self, value: bytes) -> tuple[int, bytes]:
+        """``(record type, stored payload)`` for ``value`` as configured.
+
+        Compression applies only to v2-format logs and only when the
+        value is a non-empty multiple-of-4-bytes buffer whose uint32
+        lanes are non-decreasing (a sorted adjacency blob) **and** the
+        encoding is strictly smaller — everything else stays a raw put,
+        so arbitrary values and adversarial blobs never regress.
+        """
+        if (self._compress and self._format == 2
+                and len(value) >= 4 and len(value) % 4 == 0):
+            lanes = np.frombuffer(value, dtype="<u4")
+            if lanes.size == 1 or bool((lanes[1:] >= lanes[:-1]).all()):
+                payload = encode_blob(lanes)
+                if len(payload) < len(value):
+                    rtype = _BLOB_TYPE_BASE + blob_layout(lanes.size)
+                    return rtype, payload
+        return _REC_PUT, value
+
     def encode_put_record(self, key: int, value: bytes) -> bytes:
         """The exact bytes :meth:`put` would append for ``(key, value)``.
 
         Exposed so the fault injector can simulate a torn write by
-        appending only a prefix of a real record.
+        appending only a prefix of a real record (compressed records
+        included, since tearing happens after encoding).
         """
         _check_value_size(len(value))
+        rtype, payload = self._make_record(value)
         if self._format == 1:
-            return _HEADER_V1.pack(key, len(value)) + value
-        return _encode_frame(_REC_PUT, key, value)
+            return _HEADER_V1.pack(key, len(payload)) + payload
+        return _encode_frame(rtype, key, payload)
+
+    def _update_compression_gauge(self) -> None:
+        stored = self._live_stored
+        self.stats.set_gauge(
+            "compression_ratio", self._live_raw / stored if stored else 1.0)
+
+    def _recount_live_bytes(self) -> None:
+        """Rebuild the live raw/stored byte totals from the index."""
+        self._live_raw = sum(loc[4] for loc in self._index.values())
+        self._live_stored = sum(loc[1] for loc in self._index.values())
+        self._update_compression_gauge()
 
     def put(self, key: int, value: bytes) -> None:
         """Write ``value`` under ``key`` (append + index update)."""
         _check_value_size(len(value))
-        record = self.encode_put_record(key, value)
-        header_size = _HEADER_V1.size if self._format == 1 else _FRAME.size
+        rtype, payload = self._make_record(value)
+        if self._format == 1:
+            record = _HEADER_V1.pack(key, len(payload)) + payload
+            header_size = _HEADER_V1.size
+        else:
+            record = _encode_frame(rtype, key, payload)
+            header_size = _FRAME.size
         self._file.seek(0, os.SEEK_END)
         offset = self._file.tell()
         try:
@@ -214,17 +378,31 @@ class DiskKVStore:
             except OSError:
                 pass
             raise
-        crc = None if self._format == 1 else _record_crc(_REC_PUT, key, value)
-        self._index[key] = (offset + header_size, len(value), crc)
+        crc = None if self._format == 1 else _record_crc(rtype, key, payload)
+        old = self._index.get(key)
+        if old is not None:
+            self._live_raw -= old[4]
+            self._live_stored -= old[1]
+        self._index[key] = (offset + header_size, len(payload), crc,
+                            rtype, len(value))
+        self._live_raw += len(value)
+        self._live_stored += len(payload)
         self._vindex = None
         self._pending_flush = True
+        self.mutation_count += 1
         self.stats.inc("disk_writes")
         self.stats.inc("bytes_written", len(record))
+        if rtype != _REC_PUT:
+            self.stats.inc("compressed_puts")
+            self.stats.inc("blob_bytes_raw", len(value))
+            self.stats.inc("blob_bytes_stored", len(payload))
+        self._update_compression_gauge()
         if self._cache is not None:
             self._cache.put(key, value)
 
     def _validate_record(self, key: int, offset: int, size: int,
-                         crc: int | None, value: bytes) -> None:
+                         crc: int | None, rtype: int, raw_size: int,
+                         value: bytes) -> None:
         """Size + checksum validation shared by every read path."""
         if len(value) != size:
             self.stats.inc("checksum_failures")
@@ -233,7 +411,7 @@ class DiskKVStore:
                 f"expected {size} (log truncated underneath a live index?)"
             )
         if self.verify_reads and crc is not None:
-            if _record_crc(_REC_PUT, key, value) != crc:
+            if _record_crc(rtype, key, value) != crc:
                 self.stats.inc("checksum_failures")
                 raise CorruptRecordError(
                     f"key {key}: checksum mismatch at offset {offset}"
@@ -244,12 +422,14 @@ class DiskKVStore:
             # checksum, the same trade RocksDB makes by verifying
             # blocks on cache fill rather than on every hit.  A fresh
             # open rebuilds the index and re-arms every crc.
-            self._index[key] = (offset, size, None)
+            self._index[key] = (offset, size, None, rtype, raw_size)
             self._vindex = None
 
     def _read_record(self, key: int, offset: int, size: int,
-                     crc: int | None, count: bool = True,
+                     crc: int | None, rtype: int, raw_size: int,
+                     count: bool = True,
                      receipt: ReadReceipt | None = None) -> bytes:
+        """Read and validate one record, returning its **decoded** value."""
         if self._pending_flush:
             self._file.flush()
             self._pending_flush = False
@@ -259,7 +439,9 @@ class DiskKVStore:
             self.stats.inc("bytes_read", len(value))
             if receipt is not None:
                 receipt.count_disk_read(len(value))
-        self._validate_record(key, offset, size, crc, value)
+        self._validate_record(key, offset, size, crc, rtype, raw_size, value)
+        if rtype != _REC_PUT:
+            return decode_blob(rtype - _BLOB_TYPE_BASE, value).tobytes()
         return value
 
     def get(self, key: int,
@@ -309,7 +491,7 @@ class DiskKVStore:
         record arrived via its own syscall or a coalesced span.
         """
         result: dict[int, bytes | None] = {}
-        pending: list[tuple[int, int, int | None, int]] = []
+        pending: list[tuple[int, int, int | None, int, int, int]] = []
         cache_hits = cache_misses = 0
         for key in keys:
             key = int(key)
@@ -327,28 +509,36 @@ class DiskKVStore:
                 result[key] = None
                 continue
             result[key] = None  # placeholder keeps dedup exact
-            pending.append((loc[0], loc[1], loc[2], key))
+            pending.append((*loc, key))
         if cache_hits:
             self.stats.inc("cache_hits", cache_hits)
         if cache_misses:
             self.stats.inc("cache_misses", cache_misses)
         if receipt is not None:
             receipt.count_cache_hits(cache_hits)
-        pending.sort(key=lambda item: item[0])
+        pending.sort(key=operator.itemgetter(0))
         if self._pending_flush and pending:
             self._file.flush()
             self._pending_flush = False
         disk_reads = bytes_read = 0
+        compressed: list[tuple[int, bytes, int, int]] = []
         try:
             for span in self._coalesce(pending):
                 start = span[0][0]
                 length = span[-1][0] + span[-1][1] - start
                 buffer = os.pread(self._read_fd, length, start)
-                for offset, size, crc, key in span:
+                for offset, size, crc, rtype, raw_size, key in span:
                     value = buffer[offset - start:offset - start + size]
                     disk_reads += 1
                     bytes_read += len(value)
-                    self._validate_record(key, offset, size, crc, value)
+                    self._validate_record(key, offset, size, crc, rtype,
+                                          raw_size, value)
+                    if rtype != _REC_PUT:
+                        # Defer to one whole-batch decode pass below —
+                        # per-record decode_blob calls dominate a large
+                        # compressed multi-get otherwise.
+                        compressed.append((key, value, rtype, raw_size))
+                        continue
                     if self._cache is not None:
                         self._cache.put(key, value)
                     result[key] = value
@@ -360,6 +550,28 @@ class DiskKVStore:
                 self.stats.inc("bytes_read", bytes_read)
                 if receipt is not None:
                     receipt.count_disk_reads(disk_reads, bytes_read)
+        if compressed:
+            sizes = np.asarray([len(v) for _, v, _, _ in compressed],
+                               dtype=np.int64)
+            offsets = np.zeros(len(compressed), dtype=np.int64)
+            np.cumsum(sizes[:-1], out=offsets[1:])
+            src = np.frombuffer(
+                b"".join(v for _, v, _, _ in compressed), dtype=np.uint8)
+            counts = np.asarray([raw // 4 for _, _, _, raw in compressed],
+                                dtype=np.int64)
+            layouts = np.asarray(
+                [rtype - _BLOB_TYPE_BASE for _, _, rtype, _ in compressed],
+                dtype=np.int64)
+            decoded = decode_blobs_packed(src, offsets, sizes, counts,
+                                          layouts).astype("<u4", copy=False)
+            value_start = 0
+            for (key, _v, _rt, raw_size), count in zip(
+                    compressed, counts.tolist()):
+                value = decoded[value_start:value_start + count].tobytes()
+                value_start += count
+                if self._cache is not None:
+                    self._cache.put(key, value)
+                result[key] = value
         return result
 
     def get_many_packed(self, keys,
@@ -395,7 +607,7 @@ class DiskKVStore:
             if vi is None:
                 vi = self._vindex = self._build_vindex()
             karr = np.asarray(keys, dtype=np.int64)
-            vkeys, voffs, vszs, varmed = vi
+            vkeys, voffs, vszs, varmed, vrtypes, vrawszs = vi
             if len(vkeys) == 0:
                 if len(karr):
                     raise KeyError(sorted(set(karr.tolist())))
@@ -406,14 +618,15 @@ class DiskKVStore:
             if not found.all():
                 raise KeyError(sorted(set(karr[~found].tolist())))
             if not (self.verify_reads and bool(varmed[pos].any())):
-                return self._packed_vectorized(karr, voffs[pos],
-                                               vszs[pos], receipt)
+                return self._packed_vectorized(voffs[pos], vszs[pos],
+                                               vrtypes[pos], vrawszs[pos],
+                                               receipt)
         n = len(keys)
         lengths_l = [0] * n
         cached_parts: list[tuple[int, bytes]] = []
-        pending: list[tuple[int, int, int | None, int, int]] = []
+        pending: list[tuple[int, int, int | None, int, int, int, int]] = []
         missing: list[int] = []
-        cache_hits = cache_misses = armed = 0
+        cache_hits = cache_misses = 0
         cache = self._cache
         index_get = self._index.get
         for pos, key in enumerate(keys):
@@ -430,10 +643,8 @@ class DiskKVStore:
             if loc is None:
                 missing.append(key)
                 continue
-            pending.append((loc[0], loc[1], loc[2], key, pos))
-            if loc[2] is not None:
-                armed += 1
-            lengths_l[pos] = loc[1]
+            pending.append((*loc, key, pos))
+            lengths_l[pos] = loc[4]
         if cache_hits:
             self.stats.inc("cache_hits", cache_hits)
         if cache_misses:
@@ -446,7 +657,6 @@ class DiskKVStore:
         starts = np.zeros(n, dtype=np.int64)
         np.cumsum(lengths[:-1], out=starts[1:])
         out = np.zeros(int(lengths.sum()), dtype=np.uint8)
-        disk_reads = bytes_read = 0
         if pending:
             pending.sort(key=operator.itemgetter(0))
             if self._pending_flush:
@@ -454,103 +664,84 @@ class DiskKVStore:
                 self._pending_flush = False
             offs = np.asarray([item[0] for item in pending], dtype=np.int64)
             szs = np.asarray([item[1] for item in pending], dtype=np.int64)
-            slots = starts[np.asarray([item[4] for item in pending],
+            rtypes = np.asarray([item[3] for item in pending], dtype=np.int64)
+            rawszs = np.asarray([item[4] for item in pending], dtype=np.int64)
+            slots = starts[np.asarray([item[6] for item in pending],
                                       dtype=np.int64)]
             ends = offs + szs
             spans = self._spans_of(offs, ends)
+            src, src_offs = self._gather_spans(offs, szs, ends, spans,
+                                               receipt)
             verify = self.verify_reads
-            crc32 = zlib.crc32
-            prefix_pack = _CRC_PREFIX.pack
-            index = self._index
-            chunks: list[bytes] = []
-            src_base = np.zeros(len(offs), dtype=np.int64)
-            concat_len = 0
-            # With every requested record already verified this open
-            # (crc cleared) and no cache to fill, a complete span needs
-            # no per-record pass at all — accounting is two vectorized
-            # sums.  This is the steady state of a warm batched reader.
-            fast = cache is None and (not verify or armed == 0)
-            try:
-                for lo, hi in spans:
-                    base = int(offs[lo])
-                    length = int(ends[hi - 1]) - base
-                    buffer = os.pread(self._read_fd, length, base)
-                    buflen = len(buffer)
-                    if fast and buflen == length:
-                        disk_reads += hi - lo
-                        bytes_read += int(szs[lo:hi].sum())
-                        chunks.append(buffer)
-                        src_base[lo:hi] = concat_len - base
-                        concat_len += buflen
+            if verify:
+                # Validation stays per record (each has its own stored
+                # crc) but runs flat — at 10^5 records per batch even
+                # one extra call per record is visible.
+                crc32 = zlib.crc32
+                prefix_pack = _CRC_PREFIX.pack
+                index = self._index
+                for i, item in enumerate(pending):
+                    offset, size, crc, rtype, raw_size, key, _pos = item
+                    if crc is None:
                         continue
-                    view = memoryview(buffer)
-                    # Validation stays per record (each has its own
-                    # stored crc) but runs flat — at 10^5 records per
-                    # batch even one extra call per record is visible.
-                    for offset, size, crc, key, _pos in pending[lo:hi]:
-                        rel = offset - base
-                        end = rel + size
-                        disk_reads += 1
-                        bytes_read += size
-                        if end > buflen:
-                            self.stats.inc("checksum_failures")
-                            raise CorruptRecordError(
-                                f"key {key}: record at offset {offset} "
-                                f"extends past the log end (truncated "
-                                f"underneath a live index?)"
-                            )
-                        if verify and crc is not None:
-                            if crc32(
-                                    view[rel:end],
-                                    crc32(prefix_pack(_REC_PUT, key,
-                                                      size))) != crc:
-                                self.stats.inc("checksum_failures")
-                                raise CorruptRecordError(
-                                    f"key {key}: checksum mismatch at "
-                                    f"offset {offset}"
-                                )
-                            # Verify-once-per-open, as _validate_record.
-                            index[key] = (offset, size, None)
-                            self._vindex = None
-                        if cache is not None:
-                            cache.put(key, bytes(view[rel:end]))
-                    # Defer payload extraction: remember where this
-                    # span's records land in the concatenated buffer so
-                    # one global scatter-gather can place every record
-                    # at once (per-span numpy calls drown in fixed cost
-                    # when spans are small).
-                    chunks.append(buffer)
-                    src_base[lo:hi] = concat_len - base
-                    concat_len += buflen
-            finally:
-                if disk_reads:
-                    self.stats.inc("disk_reads", disk_reads)
-                    self.stats.inc("bytes_read", bytes_read)
-                    if receipt is not None:
-                        receipt.count_disk_reads(disk_reads, bytes_read)
-            # One scatter over every record read above: the source index
-            # walks each record's payload inside the concatenated span
-            # buffers, the target index is its key-order slot in ``out``.
-            arr = np.frombuffer(b"".join(chunks), dtype=np.uint8)
-            total = int(szs.sum())
-            record_base = np.zeros(len(szs), dtype=np.int64)
-            np.cumsum(szs[:-1], out=record_base[1:])
-            within = np.arange(total, dtype=np.int64) - np.repeat(
-                record_base, szs)
-            out[np.repeat(slots, szs) + within] = arr[
-                np.repeat(offs + src_base, szs) + within]
+                    rel = int(src_offs[i])
+                    if crc32(src[rel:rel + size],
+                             crc32(prefix_pack(rtype, key, size))) != crc:
+                        self.stats.inc("checksum_failures")
+                        raise CorruptRecordError(
+                            f"key {key}: checksum mismatch at "
+                            f"offset {offset}"
+                        )
+                    # Verify-once-per-open, as _validate_record.
+                    index[key] = (offset, size, None, rtype, raw_size)
+                    self._vindex = None
+            # One scatter (raw) plus one bulk decode pass (compressed)
+            # places every record read above into its key-order slot.
+            assemble_packed(src, src_offs, szs, rtypes, rawszs, out, slots)
+            if cache is not None:
+                for i, item in enumerate(pending):
+                    start = int(slots[i])
+                    cache.put(item[5], out[start:start + item[4]].tobytes())
         for pos, blob in cached_parts:
             start = starts[pos]
             out[start:start + len(blob)] = np.frombuffer(blob,
                                                          dtype=np.uint8)
         return out, lengths
 
-    def _build_vindex(self) -> tuple[np.ndarray, np.ndarray,
-                                     np.ndarray, np.ndarray]:
+    def export_packed_state(self) -> dict:
+        """Snapshot of the read state a detached (worker) reader needs.
+
+        Returns the log path plus the sorted index mirror — everything
+        a read-only process needs to serve ``get_many_packed``-style
+        lookups against its own mmap of the log.  Buffered appends are
+        flushed first so the snapshot's offsets are all readable.
+        ``generation`` is :attr:`mutation_count`; publishers use it to
+        know when a worker-held snapshot went stale.
+        """
+        if self._pending_flush:
+            self._file.flush()
+            self._pending_flush = False
+        vi = self._vindex
+        if vi is None:
+            vi = self._vindex = self._build_vindex()
+        vkeys, voffs, vszs, _varmed, vrtypes, vrawszs = vi
+        return {
+            "path": str(self.path),
+            "keys": vkeys,
+            "offs": voffs,
+            "szs": vszs,
+            "rtypes": vrtypes,
+            "rawszs": vrawszs,
+            "generation": self.mutation_count,
+        }
+
+    def _build_vindex(self) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                                     np.ndarray, np.ndarray, np.ndarray]:
         """Materialize the sorted numpy mirror of ``_index``."""
         if not self._index:
             empty = np.zeros(0, dtype=np.int64)
-            return empty, empty, empty, np.zeros(0, dtype=bool)
+            return (empty, empty, empty, np.zeros(0, dtype=bool),
+                    empty, empty)
         keys = np.fromiter(self._index.keys(), dtype=np.int64,
                            count=len(self._index))
         cols = list(zip(*self._index.values()))
@@ -558,8 +749,11 @@ class DiskKVStore:
         szs = np.asarray(cols[1], dtype=np.int64)
         armed = np.asarray([crc is not None for crc in cols[2]],
                            dtype=bool)
+        rtypes = np.asarray(cols[3], dtype=np.int64)
+        rawszs = np.asarray(cols[4], dtype=np.int64)
         order = np.argsort(keys, kind="stable")
-        return keys[order], offs[order], szs[order], armed[order]
+        return (keys[order], offs[order], szs[order], armed[order],
+                rtypes[order], rawszs[order])
 
     @staticmethod
     def _spans_of(offs: np.ndarray, ends: np.ndarray
@@ -589,8 +783,8 @@ class DiskKVStore:
             spans.append((lo, hi))
         return spans
 
-    def _packed_vectorized(self, karr: np.ndarray, offs_u: np.ndarray,
-                           lengths: np.ndarray,
+    def _packed_vectorized(self, offs_u: np.ndarray, szs_u: np.ndarray,
+                           rtypes_u: np.ndarray, rawszs_u: np.ndarray,
                            receipt: ReadReceipt | None,
                            ) -> tuple[np.ndarray, np.ndarray]:
         """Zero-per-record-Python tier of :meth:`get_many_packed`.
@@ -598,62 +792,141 @@ class DiskKVStore:
         Preconditions (checked by the caller): no block cache, every
         record's location resolved via ``_vindex``, and nothing left to
         checksum (``verify_reads`` off or every record verified this
-        open).  Only the span loop remains in Python — a handful of
-        ``pread`` calls per batch.
+        open).  With an mmap view the whole call is numpy against the
+        page cache; otherwise only the span-read loop remains in Python
+        — a handful of positional reads per batch into one
+        preallocated buffer.
         """
-        n = len(karr)
+        n = len(offs_u)
+        lengths = rawszs_u
         starts = np.zeros(n, dtype=np.int64)
         np.cumsum(lengths[:-1], out=starts[1:])
-        out = np.zeros(int(lengths.sum()), dtype=np.uint8)
+        out = np.empty(int(lengths.sum()), dtype=np.uint8)
         if n == 0:
             return out, lengths
-        order = np.argsort(offs_u, kind="stable")
-        offs = offs_u[order]
-        szs = lengths[order]
-        slots = starts[order]
-        ends = offs + szs
-        spans = self._spans_of(offs, ends)
         if self._pending_flush:
             self._file.flush()
             self._pending_flush = False
-        chunks: list[bytes] = []
-        src_base = np.zeros(len(offs), dtype=np.int64)
-        concat_len = 0
+        view = self._mmap_view(int((offs_u + szs_u).max()))
+        if view is not None:
+            # Page-cache path: no read syscalls, no staging buffer —
+            # raw records are one gather from the mapped log into the
+            # output, compressed ones one bulk decode pass.  Booking
+            # stays the logical per-record accounting the pread path
+            # produces, so engines see identical stats either way.
+            total_stored = int(szs_u.sum())
+            self.stats.inc("disk_reads", n)
+            self.stats.inc("bytes_read", total_stored)
+            if receipt is not None:
+                receipt.count_disk_reads(n, total_stored)
+            assemble_packed(view, offs_u, szs_u, rtypes_u, rawszs_u,
+                            out, starts)
+            return out, lengths
+        if n > 1 and bool((offs_u[1:] >= offs_u[:-1]).all()):
+            # Sorted-key requests against a sequentially written log
+            # (post bulk_load/compact) arrive offset-sorted already;
+            # one comparison pass beats an argsort every batch.
+            order = None
+            offs, szs = offs_u, szs_u
+        else:
+            order = np.argsort(offs_u, kind="stable")
+            offs = offs_u[order]
+            szs = szs_u[order]
+        ends = offs + szs
+        spans = self._spans_of(offs, ends)
+        src, src_offs = self._gather_spans(offs, szs, ends, spans, receipt)
+        if order is None:
+            assemble_packed(src, src_offs, szs, rtypes_u, rawszs_u,
+                            out, starts)
+        else:
+            assemble_packed(src, src_offs, szs, rtypes_u[order],
+                            rawszs_u[order], out, starts[order])
+        return out, lengths
+
+    def _gather_spans(self, offs: np.ndarray, szs: np.ndarray,
+                      ends: np.ndarray, spans: list[tuple[int, int]],
+                      receipt: ReadReceipt | None,
+                      ) -> tuple[np.ndarray, np.ndarray]:
+        """Read coalesced spans into one preallocated buffer.
+
+        Returns ``(src, src_offs)``: ``src`` holds every span back to
+        back and ``src_offs[i]`` is record ``i``'s payload position
+        inside it.  Each span is read **directly into its slice** of
+        ``src`` with ``os.preadv`` — no per-span bytes objects, no
+        ``b"".join`` concatenation pass.  Physical reads are booked per
+        completed span even if a later span fails short (the I/O
+        happened either way).
+        """
+        total = sum(int(ends[hi - 1] - offs[lo]) for lo, hi in spans)
+        src = np.empty(total, dtype=np.uint8)
+        src_offs = np.empty(len(offs), dtype=np.int64)
         disk_reads = bytes_read = 0
+        pos = 0
         try:
             for lo, hi in spans:
                 base = int(offs[lo])
                 length = int(ends[hi - 1]) - base
-                buffer = os.pread(self._read_fd, length, base)
-                if len(buffer) != length:
-                    bad = lo + int(np.argmax(
-                        ends[lo:hi] - base > len(buffer)))
+                got = os.preadv(self._read_fd, [src[pos:pos + length]], base)
+                if got != length:
                     self.stats.inc("checksum_failures")
                     raise CorruptRecordError(
-                        f"key {int(karr[order[bad]])}: record at offset "
-                        f"{int(offs[bad])} extends past the log end "
-                        f"(truncated underneath a live index?)"
+                        f"record at offset {base + got} extends past the "
+                        f"log end (truncated underneath a live index?)"
                     )
+                src_offs[lo:hi] = offs[lo:hi] + (pos - base)
                 disk_reads += hi - lo
                 bytes_read += int(szs[lo:hi].sum())
-                chunks.append(buffer)
-                src_base[lo:hi] = concat_len - base
-                concat_len += length
+                pos += length
         finally:
             if disk_reads:
                 self.stats.inc("disk_reads", disk_reads)
                 self.stats.inc("bytes_read", bytes_read)
                 if receipt is not None:
                     receipt.count_disk_reads(disk_reads, bytes_read)
-        arr = np.frombuffer(b"".join(chunks), dtype=np.uint8)
-        total = int(szs.sum())
-        record_base = np.zeros(len(szs), dtype=np.int64)
-        np.cumsum(szs[:-1], out=record_base[1:])
-        within = np.arange(total, dtype=np.int64) - np.repeat(
-            record_base, szs)
-        out[np.repeat(slots, szs) + within] = arr[
-            np.repeat(offs + src_base, szs) + within]
-        return out, lengths
+        return src, src_offs
+
+    # -- mmap --------------------------------------------------------------
+
+    def _mmap_view(self, end: int) -> np.ndarray | None:
+        """uint8 view of the mapped log covering byte ``end``, or None.
+
+        Remaps lazily when the log has grown past the current map.
+        Returns None whenever mapping is off or fails (empty file,
+        exotic filesystems, fd trouble) — callers then use positional
+        reads.  The view indexes the log at absolute file offsets.
+        """
+        if not self._use_mmap:
+            return None
+        if self._mmap is None or len(self._mmap) < end:
+            self._drop_mmap()
+            try:
+                size = os.fstat(self._read_fd).st_size
+                if size < max(end, 1):
+                    return None
+                mapped = mmap.mmap(self._read_fd, size,
+                                   access=mmap.ACCESS_READ)
+            except (OSError, ValueError):
+                return None
+            self._mmap = mapped
+            self._mmap_np = np.frombuffer(mapped, dtype=np.uint8)
+        return self._mmap_np
+
+    def _drop_mmap(self) -> None:
+        """Invalidate the current map (log replaced, shrunk, or closing).
+
+        If a previously returned view is still alive the close raises
+        ``BufferError`` — the map is then abandoned to the garbage
+        collector instead, so in-flight batches keep reading the old
+        (still-mapped) bytes safely while new reads remap.
+        """
+        mapped = self._mmap
+        self._mmap = None
+        self._mmap_np = None
+        if mapped is not None:
+            try:
+                mapped.close()
+            except BufferError:
+                pass
 
     @staticmethod
     def _coalesce(pending):
@@ -691,8 +964,12 @@ class DiskKVStore:
         self._pending_flush = True
         self.stats.inc("disk_writes")
         self.stats.inc("bytes_written", len(record))
-        del self._index[key]
+        old = self._index.pop(key)
+        self._live_raw -= old[4]
+        self._live_stored -= old[1]
+        self._update_compression_gauge()
         self._vindex = None
+        self.mutation_count += 1
         if self._cache is not None:
             self._cache.evict(key)
         return True
@@ -709,26 +986,34 @@ class DiskKVStore:
         and tombstones (the log-structured GC).  Returns bytes saved.
 
         The rewrite is atomic and durable: live records stream into a
-        temp file (always v2, so compaction upgrades legacy logs),
-        which is fsynced and then swapped in with ``os.replace``.  An
-        interruption at any point leaves the original log intact and
-        the store usable.
+        temp file (always v2-format, so compaction upgrades legacy
+        logs), which is fsynced and then swapped in with
+        ``os.replace``.  An interruption at any point leaves the
+        original log intact and the store usable.
+
+        Records are decoded and re-encoded under the **current**
+        compression setting, so compacting also converts a log between
+        raw and compressed storage in either direction.  Any live mmap
+        is invalidated (the old inode is gone); exported views keep
+        the old map alive until collected.
         """
         self._file.flush()
         before = self.path.stat().st_size
         compact_path = self.path.with_suffix(self.path.suffix + ".compact")
-        new_index: dict[int, tuple[int, int, int | None]] = {}
+        new_index: dict[int, tuple[int, int, int | None, int, int]] = {}
         try:
             with open(compact_path, "wb") as out:
                 out.write(LOG_MAGIC)
                 for key in sorted(self._index):
-                    offset, size, crc = self._index[key]
-                    value = self._read_record(key, offset, size, crc,
+                    value = self._read_record(key, *self._index[key],
                                               count=False)
-                    new_crc = _record_crc(_REC_PUT, key, value)
-                    new_index[key] = (out.tell() + _FRAME.size, size, new_crc)
-                    out.write(_FRAME.pack(_REC_PUT, key, size, new_crc))
-                    out.write(value)
+                    rtype, payload = self._make_record(value)
+                    new_crc = _record_crc(rtype, key, payload)
+                    new_index[key] = (out.tell() + _FRAME.size,
+                                      len(payload), new_crc, rtype,
+                                      len(value))
+                    out.write(_FRAME.pack(rtype, key, len(payload), new_crc))
+                    out.write(payload)
                 out.flush()
                 os.fsync(out.fileno())
         except BaseException:
@@ -743,19 +1028,24 @@ class DiskKVStore:
             raise
         _fsync_dir(self.path.parent)
         self._file = open(self.path, "a+b")
-        # The old read fd still points at the replaced (deleted) inode;
-        # swap it for one on the fresh compacted log.
+        # The old read fd (and any mmap of it) still points at the
+        # replaced, now-deleted inode; swap in fresh ones on the
+        # compacted log.
+        self._drop_mmap()
         os.close(self._read_fd)
         self._read_fd = os.open(self.path, os.O_RDONLY)
         self._pending_flush = False
         self._format = 2
         self._index = new_index
         self._vindex = None
+        self.mutation_count += 1
+        self._recount_live_bytes()
         if self._cache is not None:
             self._cache.clear()
         return before - self.path.stat().st_size
 
     def close(self) -> None:
+        self._drop_mmap()
         if not self._file.closed:
             self._file.flush()
             self._file.close()
@@ -798,6 +1088,7 @@ class DiskKVStore:
         )
         self._file.truncate(pos)
         self._file.flush()
+        self.mutation_count += 1
 
     def _replay_v1(self, total: int) -> None:
         pos = 0
@@ -815,7 +1106,7 @@ class DiskKVStore:
             if offset + size > total:
                 self._truncate_tail(pos, "v1 record extends past EOF")
                 return
-            self._index[key] = (offset, size, None)
+            self._index[key] = (offset, size, None, _REC_PUT, size)
             pos = offset + size
             self._file.seek(pos)
 
@@ -827,7 +1118,8 @@ class DiskKVStore:
                 self._truncate_tail(pos, "short v2 frame header")
                 return
             rtype, key, size, crc = _FRAME.unpack(header)
-            if rtype not in (_REC_PUT, _REC_TOMBSTONE):
+            if rtype != _REC_PUT and rtype != _REC_TOMBSTONE \
+                    and rtype not in _BLOB_RECORD_TYPES:
                 self._truncate_tail(pos, f"unknown record type 0x{rtype:02X}")
                 return
             offset = pos + _FRAME.size
@@ -840,8 +1132,19 @@ class DiskKVStore:
                 return
             if rtype == _REC_TOMBSTONE:
                 self._index.pop(key, None)
+            elif rtype == _REC_PUT:
+                self._index[key] = (offset, size, crc, rtype, size)
             else:
-                self._index[key] = (offset, size, crc)
+                # v3 compressed put: the decoded size comes from the
+                # blob structure, which doubles as a malformed-payload
+                # check beyond the crc (defense in depth for torn
+                # tails whose checksum happens to collide).
+                try:
+                    count = blob_count(rtype - _BLOB_TYPE_BASE, payload)
+                except ValueError as exc:
+                    self._truncate_tail(pos, f"malformed v3 blob: {exc}")
+                    return
+                self._index[key] = (offset, size, crc, rtype, 4 * count)
             pos = offset + size
 
 
@@ -856,6 +1159,7 @@ class InMemoryKVStore:
 
     def __init__(self, cache_bytes: int = 0):
         self.stats = StorageStats()
+        self.mutation_count = 0  # interface parity with DiskKVStore
         self._data: dict[int, bytes] = {}
         self._cache = LRUCache(cache_bytes) if cache_bytes > 0 else None
 
@@ -871,6 +1175,7 @@ class InMemoryKVStore:
     def put(self, key: int, value: bytes) -> None:
         _check_value_size(len(value))
         self._data[key] = value
+        self.mutation_count += 1
         self.stats.inc("disk_writes")
         self.stats.inc("bytes_written", len(value))
         if self._cache is not None:
@@ -934,6 +1239,7 @@ class InMemoryKVStore:
     def delete(self, key: int) -> bool:
         if key in self._data:
             del self._data[key]
+            self.mutation_count += 1
             self.stats.inc("disk_writes")
             if self._cache is not None:
                 self._cache.evict(key)

@@ -105,7 +105,8 @@ class _SummedStorageStats:
     """Read-only aggregate over the per-segment ``StorageStats`` views."""
 
     _FIELDS = ("disk_reads", "disk_writes", "bytes_read", "bytes_written",
-               "cache_hits", "cache_misses", "checksum_failures")
+               "cache_hits", "cache_misses", "checksum_failures",
+               "compressed_puts", "blob_bytes_raw", "blob_bytes_stored")
 
     def __init__(self, segments: list[GraphStore]):
         object.__setattr__(self, "_segments", segments)
@@ -115,8 +116,20 @@ class _SummedStorageStats:
             return sum(getattr(seg.stats, name) for seg in self._segments)
         raise AttributeError(f"StorageStats has no field {name!r}")
 
+    @property
+    def compression_ratio(self) -> float:
+        """Live raw bytes over live stored bytes across every segment."""
+        raw = stored = 0
+        for seg in self._segments:
+            kv = seg._kv
+            raw += getattr(kv, "_live_raw", 0)
+            stored += getattr(kv, "_live_stored", 0)
+        return raw / stored if stored else 1.0
+
     def snapshot(self) -> dict[str, int | float]:
-        return {name: getattr(self, name) for name in self._FIELDS}
+        out = {name: getattr(self, name) for name in self._FIELDS}
+        out["compression_ratio"] = self.compression_ratio
+        return out
 
     def diff(self, before: dict[str, int | float]) -> dict[str, int | float]:
         return {name: value - before.get(name, 0)
@@ -150,10 +163,15 @@ class ShardedGraphStore:
         the per-shard fault-injection passthrough: wrap any segment in
         a :class:`~repro.storage.faults.FaultInjectingKVStore` and only
         that shard's reads degrade.
+    compress / use_mmap:
+        Forwarded to every disk-backed segment (StreamVByte blob
+        records / mmap read path).  Ignored when ``kv_factory`` builds
+        the stores or segments are in-memory.
     """
 
     def __init__(self, path: str | Path | None = None, num_shards: int = 1,
-                 cache_bytes: int = 0, kv_factory=None):
+                 cache_bytes: int = 0, kv_factory=None,
+                 compress: bool = False, use_mmap: bool = False):
         self.router = ShardRouter(num_shards)
         per_shard_cache = cache_bytes // num_shards if num_shards else 0
         self._segments: list[GraphStore] = []
@@ -162,7 +180,8 @@ class ShardedGraphStore:
             if kv_factory is not None:
                 store = GraphStore(kv=kv_factory(seg_path, shard))
             else:
-                store = GraphStore(seg_path, cache_bytes=per_shard_cache)
+                store = GraphStore(seg_path, cache_bytes=per_shard_cache,
+                                   compress=compress, use_mmap=use_mmap)
             self._segments.append(store)
 
     @staticmethod
@@ -318,7 +337,9 @@ class ShardedGraphStore:
     # -- resharding --------------------------------------------------------
 
     def reshard(self, num_shards: int, path: str | Path | None = None,
-                cache_bytes: int = 0, kv_factory=None) -> "ShardedGraphStore":
+                cache_bytes: int = 0, kv_factory=None,
+                compress: bool = False,
+                use_mmap: bool = False) -> "ShardedGraphStore":
         """Migrate every adjacency record into an S′-shard store.
 
         Rows move between segments but are never rewritten: resharding
@@ -328,7 +349,8 @@ class ShardedGraphStore:
         """
         target = ShardedGraphStore(path, num_shards=num_shards,
                                    cache_bytes=cache_bytes,
-                                   kv_factory=kv_factory)
+                                   kv_factory=kv_factory,
+                                   compress=compress, use_mmap=use_mmap)
         for seg in self._segments:
             for v in seg.vertices():
                 target.put_neighbors(v, seg.get_neighbors(v))

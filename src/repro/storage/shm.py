@@ -1,0 +1,267 @@
+"""Shared-memory publication for process-parallel query execution.
+
+The process executor in :class:`~repro.apps.edge_query.ParallelEdgeQueryEngine`
+has to hand each worker two large read-only structures: the NDF solution
+(VEND code arrays) and each shard's packed-read index mirror.  Pickling
+those into every task would copy megabytes per batch and burn the GIL
+escape we bought.  Instead the coordinator publishes each object ONCE:
+
+- :class:`SharedObject` pickles the object with protocol 5 so every
+  contiguous buffer (numpy arrays, bytes) travels *out-of-band*, lays
+  the buffers back to back in one
+  :class:`multiprocessing.shared_memory.SharedMemory` block, and keeps
+  only a small picklable ``meta`` dict (block name + in-band payload +
+  buffer spans + role + generation).
+- Workers call :func:`attach_shared` with that meta.  The block is
+  mapped once per process, the object is rebuilt with **read-only**
+  memoryviews into the mapping (``memoryview.toreadonly``), and the
+  result is cached per ``role`` until the coordinator publishes a new
+  generation.  Re-sending the same meta is therefore nearly free: a
+  dict compare, no copies.
+
+Generations make staleness explicit: the coordinator bumps the
+generation (derived from ``DiskKVStore.mutation_count`` for shard
+state, a monotone counter for the filter) whenever the underlying
+object changes, publishes a fresh block, and unlinks the old one.
+Workers notice the generation/name change on the next task and
+re-attach.
+
+:class:`MappedShardReader` is the worker-side storage client: it mmaps
+the shard's log read-only and serves membership probes straight off
+the page cache with the same two kernels the in-process read path
+uses (:func:`~repro.storage.kvstore.assemble_packed` and
+:func:`~repro.storage.graphstore.membership_sweep`).  It does NOT
+verify CRCs — the coordinator's store owns arming/validation, and a
+worker that read a torn record would fail structurally in blob
+decoding; detached re-verification would double-count
+``checksum_failures`` and is deliberately out of scope.
+"""
+
+from __future__ import annotations
+
+import mmap
+import pickle
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from .graphstore import membership_sweep
+from .kvstore import assemble_packed
+
+__all__ = [
+    "SharedObject",
+    "attach_shared",
+    "attach_shard_reader",
+    "close_worker_attachments",
+    "MappedShardReader",
+]
+
+
+class SharedObject:
+    """An object published once into shared memory, attachable by workers.
+
+    ``meta`` is the small picklable handle to ship with each task.  The
+    publisher must keep this instance alive while workers may attach
+    and call :meth:`close` when the generation is superseded (the block
+    is unlinked; workers already attached keep their mapping alive
+    until they drop it — POSIX shm semantics).
+    """
+
+    def __init__(self, obj, role: str, generation: int):
+        buffers: list[pickle.PickleBuffer] = []
+        payload = pickle.dumps(obj, protocol=5,
+                               buffer_callback=buffers.append)
+        raws = [buf.raw() for buf in buffers]  # 1-d, format "B", contiguous
+        spans = []
+        pos = 0
+        for raw in raws:
+            spans.append((pos, raw.nbytes))
+            pos += raw.nbytes
+        self._shm = shared_memory.SharedMemory(create=True, size=max(pos, 1))
+        view = self._shm.buf
+        for (off, size), raw in zip(spans, raws):
+            view[off:off + size] = raw
+        for buf in buffers:
+            buf.release()
+        self.meta = {
+            "name": self._shm.name,
+            "payload": payload,
+            "spans": spans,
+            "role": role,
+            "generation": generation,
+        }
+
+    def close(self) -> None:
+        """Unlink the block.  Safe to call more than once."""
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+        try:
+            self._shm.close()
+        except BufferError:
+            # A local attach_shared() in-process (tests) still holds
+            # views; the mapping is abandoned to the GC.
+            _abandon(self._shm)
+
+
+def _open_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing block without resource-tracker ownership.
+
+    Workers must not register attachments with the resource tracker:
+    spawn children share the coordinator's tracker process, so a
+    worker registering (or later unregistering) a name it does not own
+    corrupts the tracker's books and the creator's eventual ``unlink``
+    hits a tracker KeyError.  Python 3.13 has ``track=False``; older
+    versions get register suppressed around the constructor.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+def _abandon(shm: shared_memory.SharedMemory) -> None:
+    """Give a mapping with live exported views to the GC, quietly.
+
+    ``SharedMemory.close`` raises ``BufferError`` while numpy views
+    into the buffer are alive, and its ``__del__`` retries the close
+    at collection time — printing "Exception ignored" noise.  Null the
+    close so the mapping is simply released when the last view dies.
+    """
+    shm.close = lambda: None
+
+
+#: Per-process attachment cache: role -> (generation, name, shm, object).
+_ATTACHED: dict[str, tuple[int, str, shared_memory.SharedMemory, object]] = {}
+
+
+def attach_shared(meta: dict):
+    """Reconstruct (and cache) a published object in this process.
+
+    The rebuilt object views the shared block through read-only
+    memoryviews — numpy arrays come back with ``WRITEABLE=False``, so
+    a worker that tries to mutate published state fails loudly instead
+    of corrupting its siblings.
+    """
+    role = meta["role"]
+    cached = _ATTACHED.get(role)
+    if (cached is not None and cached[0] == meta["generation"]
+            and cached[1] == meta["name"]):
+        return cached[3]
+    if cached is not None:
+        _drop_attachment(role)
+    shm = _open_untracked(meta["name"])
+    # The rebuilt object's arrays view shm.buf for as long as callers
+    # keep them, so an eager close would always hit BufferError; let
+    # the GC unmap when the last view dies instead.
+    _abandon(shm)
+    buffers = [shm.buf[off:off + size].toreadonly()
+               for off, size in meta["spans"]]
+    obj = pickle.loads(meta["payload"], buffers=buffers)
+    _ATTACHED[role] = (meta["generation"], meta["name"], shm, obj)
+    return obj
+
+
+def _drop_attachment(role: str) -> None:
+    # The mapping was abandoned to the GC at attach time; forgetting
+    # the cache entry is all that is needed here.
+    _ATTACHED.pop(role)
+
+
+#: Per-process reader cache: role -> (generation, name, reader).
+_READERS: dict[str, tuple[int, str, "MappedShardReader"]] = {}
+
+
+def attach_shard_reader(meta: dict) -> "MappedShardReader":
+    """Attach a published shard state and wrap it in a cached reader.
+
+    The reader (and its mmap) is rebuilt only when the coordinator
+    publishes a new generation; steady-state batches reuse the open
+    mapping.
+    """
+    role = meta["role"]
+    cached = _READERS.get(role)
+    if (cached is not None and cached[0] == meta["generation"]
+            and cached[1] == meta["name"]):
+        return cached[2]
+    if cached is not None:
+        cached[2].close()
+        del _READERS[role]
+    state = attach_shared(meta)
+    reader = MappedShardReader(state)
+    _READERS[role] = (meta["generation"], meta["name"], reader)
+    return reader
+
+
+def close_worker_attachments() -> None:
+    """Drop every cached attachment (tests; worker shutdown hooks)."""
+    for role in list(_READERS):
+        _gen, _name, reader = _READERS.pop(role)
+        reader.close()
+    for role in list(_ATTACHED):
+        _drop_attachment(role)
+
+
+class MappedShardReader:
+    """Read-only, mmap-backed membership prober for one shard log.
+
+    Built worker-side from the dict :meth:`DiskKVStore.export_packed_state`
+    publishes: log path plus the sorted ``(keys, offs, szs, rtypes,
+    rawszs)`` index mirror.  The published generation equals the
+    store's ``mutation_count`` at export, so the mapped bytes the
+    index references are immutable for this reader's lifetime — the
+    coordinator republishes (new generation, new block) before any
+    further append or compaction is visible to workers.
+    """
+
+    def __init__(self, state: dict):
+        self.keys = state["keys"]
+        self.offs = state["offs"]
+        self.szs = state["szs"]
+        self.rtypes = state["rtypes"]
+        self.rawszs = state["rawszs"]
+        self._file = open(state["path"], "rb")
+        self._mmap = mmap.mmap(self._file.fileno(), 0,
+                               access=mmap.ACCESS_READ)
+        self._view = np.frombuffer(self._mmap, dtype=np.uint8)
+
+    def probe(self, unique_us: np.ndarray, group: np.ndarray,
+              vs: np.ndarray) -> tuple[np.ndarray, int, int]:
+        """Membership verdicts for ``(unique_us[group[i]], vs[i])`` pairs.
+
+        Returns ``(verdicts, n_records, n_bytes)`` where the trailing
+        pair is the logical read accounting the coordinator books into
+        the segment's ``StorageStats`` (one read per unique left
+        endpoint, stored bytes — identical to what the in-process
+        packed tier would have booked).
+        """
+        pos = np.searchsorted(self.keys, unique_us)
+        pos = np.minimum(pos, max(len(self.keys) - 1, 0))
+        if len(self.keys) == 0 or not np.array_equal(self.keys[pos],
+                                                     unique_us):
+            missing = (unique_us if len(self.keys) == 0
+                       else unique_us[self.keys[pos] != unique_us])
+            raise KeyError(f"vertices {sorted(missing.tolist())} "
+                           f"are not stored")
+        offs = self.offs[pos]
+        szs = self.szs[pos]
+        rtypes = self.rtypes[pos]
+        rawszs = self.rawszs[pos].astype(np.int64)
+        starts = np.concatenate(([0], np.cumsum(rawszs)[:-1]))
+        out = np.empty(int(rawszs.sum()), dtype=np.uint8)
+        assemble_packed(self._view, offs, szs, rtypes, rawszs, out, starts)
+        verdicts = membership_sweep(out, rawszs // 4, group, vs)
+        return verdicts, len(unique_us), int(szs.sum())
+
+    def close(self) -> None:
+        try:
+            self._mmap.close()
+        except BufferError:
+            pass
+        self._file.close()

@@ -1,0 +1,180 @@
+"""Process-pool query execution: parity, republication, publication.
+
+The process executor must be observationally identical to the thread
+executor (same verdicts, same QueryStats, same per-shard sums, same
+StorageStats deltas) while doing its reads in detached workers over
+shared-memory published state.  These tests drive both modes over the
+same disk-backed stores and compare ledgers exactly.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.apps.database import VendGraphDB
+from repro.apps.edge_query import ParallelEdgeQueryEngine
+from repro.core import HybPlusVend
+from repro.core.batch import warm_batch_snapshot
+from repro.graph import powerlaw_graph
+from repro.obs import QueryStats
+from repro.storage import ShardedGraphStore
+from repro.storage.shm import (
+    SharedObject,
+    attach_shared,
+    close_worker_attachments,
+)
+
+N = 400
+QUERIES = 1500
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_graph(N, avg_degree=6, seed=11)
+
+
+@pytest.fixture(scope="module")
+def workload(graph):
+    rng = np.random.default_rng(5)
+    verts = np.sort(np.fromiter(graph.vertices(), dtype=np.int64))
+    us = rng.choice(verts, QUERIES)
+    vs = rng.integers(0, N, QUERIES)
+    return us, vs
+
+
+def _db(tmp_path, graph, executor, name):
+    db = VendGraphDB(tmp_path / f"{name}.log", shards=2, executor=executor,
+                     compress=True, use_mmap=True)
+    db.load_graph(graph)
+    return db
+
+
+_PARITY = ("total", "filtered", "executed", "positives",
+           "cache_served", "disk_served")
+
+
+class TestProcessThreadParity:
+    def test_verdicts_and_stats_match(self, tmp_path, graph, workload):
+        us, vs = workload
+        with _db(tmp_path, graph, "process", "p") as proc, \
+                _db(tmp_path, graph, "thread", "t") as thread:
+            got = proc.has_edge_batch(us, vs)
+            want = thread.has_edge_batch(us, vs)
+            assert np.array_equal(got, want)
+            ps, ts = proc.query_stats, thread.query_stats
+            for field in _PARITY:
+                assert getattr(ps, field) == getattr(ts, field), field
+            # Per-shard sums stay exact despite coordinator-side booking.
+            for field in ("total", "filtered", "executed", "positives",
+                          "disk_served"):
+                shard_sum = sum(getattr(s, field)
+                                for s in proc.shard_query_stats)
+                assert shard_sum == getattr(ps, field), field
+            # Worker reads are booked into segment StorageStats too.
+            pio = proc.storage_stats.snapshot()
+            tio = thread.storage_stats.snapshot()
+            assert pio["disk_reads"] == tio["disk_reads"]
+            assert pio["bytes_read"] == tio["bytes_read"]
+
+    def test_republish_after_mutations(self, tmp_path, graph, workload):
+        us, vs = workload
+        with _db(tmp_path, graph, "process", "p") as proc, \
+                _db(tmp_path, graph, "thread", "t") as thread:
+            proc.has_edge_batch(us, vs)
+            thread.has_edge_batch(us, vs)
+            verts = np.sort(np.fromiter(graph.vertices(), dtype=np.int64))
+            for i in range(10):
+                a, b = int(verts[i]), int(verts[-(i + 1)])
+                proc.add_edge(a, b)
+                thread.add_edge(a, b)
+            got = proc.has_edge_batch(us, vs)
+            want = thread.has_edge_batch(us, vs)
+            assert np.array_equal(got, want)
+            a, b = int(verts[0]), int(verts[-1])
+            assert proc.has_edge(a, b) and thread.has_edge(a, b)
+
+    def test_publication_reused_between_batches(self, tmp_path, graph,
+                                                workload):
+        us, vs = workload
+        with _db(tmp_path, graph, "process", "p") as proc:
+            proc.has_edge_batch(us, vs)
+            engine = proc._engine
+            names = {role: shared.meta["name"]
+                     for role, shared in engine._published.items()}
+            proc.has_edge_batch(us, vs)
+            assert names == {role: shared.meta["name"]
+                             for role, shared in engine._published.items()}
+
+
+class TestProcessModeValidation:
+    def test_rejects_in_memory_segments(self, graph):
+        store = ShardedGraphStore(num_shards=2)
+        store.bulk_load(graph)
+        with pytest.raises(ValueError, match="DiskKVStore"):
+            ParallelEdgeQueryEngine(store, executor="process")
+        store.close()
+
+    def test_rejects_cached_segments(self, tmp_path, graph):
+        store = ShardedGraphStore(tmp_path / "kv.log", num_shards=2,
+                                  cache_bytes=1 << 16)
+        store.bulk_load(graph)
+        with pytest.raises(ValueError, match="cache_bytes=0"):
+            ParallelEdgeQueryEngine(store, executor="process")
+        store.close()
+
+    def test_rejects_unknown_executor(self, tmp_path, graph):
+        store = ShardedGraphStore(tmp_path / "kv.log", num_shards=2)
+        store.bulk_load(graph)
+        with pytest.raises(ValueError, match="executor"):
+            ParallelEdgeQueryEngine(store, executor="fibers")
+        store.close()
+
+    def test_database_requires_disk_path(self):
+        with pytest.raises(ValueError, match="disk-backed"):
+            VendGraphDB(executor="process")
+
+
+class TestSharedObject:
+    def test_roundtrip_is_readonly(self, graph):
+        filt = HybPlusVend(k=6)
+        filt.build(graph)
+        warm_batch_snapshot(filt)
+        shared = SharedObject(filt, "filter", 1)
+        try:
+            clone = attach_shared(shared.meta)
+            us = np.array([1, 2, 3], dtype=np.int64)
+            vs = np.array([4, 5, 6], dtype=np.int64)
+            assert np.array_equal(clone.is_nonedge_batch(us, vs),
+                                  filt.is_nonedge_batch(us, vs))
+            snapshot = clone._batch_index
+            assert snapshot is not None  # warmed snapshot travelled along
+            arrays = [a for a in vars(snapshot).values()
+                      if isinstance(a, np.ndarray) and a.size]
+            assert arrays, "expected out-of-band numpy attributes"
+            for arr in arrays:
+                assert not arr.flags.writeable
+        finally:
+            close_worker_attachments()
+            shared.close()
+
+    def test_attach_cache_keyed_by_generation(self):
+        first = SharedObject({"value": np.arange(10)}, "role-x", 1)
+        second = SharedObject({"value": np.arange(20)}, "role-x", 2)
+        try:
+            a = attach_shared(first.meta)
+            assert attach_shared(first.meta) is a  # cached
+            b = attach_shared(second.meta)
+            assert len(b["value"]) == 20  # new generation re-attached
+        finally:
+            close_worker_attachments()
+            first.close()
+            second.close()
+
+    def test_stats_view_pickles_as_labels(self):
+        view = QueryStats(store=object(), scope="engine7", shard="3")
+        view.inc("total", 5)
+        clone = pickle.loads(pickle.dumps(view))
+        assert clone.scope == "engine7"
+        assert clone.__dict__["_label_values"]["shard"] == "3"
+        assert clone.__dict__.get("_store") is None  # store not dragged

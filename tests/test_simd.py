@@ -6,15 +6,25 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.simd import (
+    BLOB_GROUP,
+    BLOB_MULTI,
+    BLOB_SINGLE,
     GROUP_SIZE,
     SHUFFLE_ZERO,
+    blob_count,
+    blob_layout,
     data_length,
     decode,
+    decode_blob,
+    decode_blobs_packed,
     decode_group_scalar,
     decode_group_simd,
     encode,
+    encode_blob,
     encode_group,
     lanes,
+    leb128_decode,
+    leb128_encode,
     simd_any,
     simd_compare_eq,
     simd_compare_gt,
@@ -23,6 +33,11 @@ from repro.simd import (
     simd_prefix_sum,
     simd_shuffle_bytes,
 )
+
+#: Sorted uint32 sequences, i.e. legal adjacency blobs.
+ascending_u32 = st.lists(
+    st.integers(0, 2**32 - 1), min_size=1, max_size=40,
+).map(sorted)
 
 
 class TestRegisterOps:
@@ -167,3 +182,115 @@ def test_group_simd_scalar_agree(values):
     simd = decode_group_simd(control, chunk).tolist()[:len(values)]
     scalar = decode_group_scalar(control, chunk, active=len(values))
     assert simd == scalar == values
+
+
+def test_delta_restarts_per_group():
+    """``encode(delta=True)`` restarts the delta base at each group of 4.
+
+    Group 2's first lane must hold its absolute value (delta from 0),
+    not the delta from group 1's last value — the property that lets
+    ``decode`` start mid-stream at any group boundary.
+    """
+    values = [100, 101, 102, 103, 1000, 1001, 1002, 1003]
+    controls, chunk = encode(values, delta=True)
+    split = data_length(controls[0])
+    second = decode(controls[1:], chunk[split:], 4, delta=True)
+    assert second == values[4:]
+
+
+class TestBlobCodec:
+    def test_layout_selection(self):
+        assert blob_layout(1) == BLOB_SINGLE
+        assert blob_layout(2) == blob_layout(4) == BLOB_GROUP
+        assert blob_layout(5) == BLOB_MULTI
+        with pytest.raises(ValueError):
+            blob_layout(0)
+
+    def test_single_is_minimal_le_bytes(self):
+        assert encode_blob([0]) == b"\x00"
+        assert encode_blob([0x1234]) == b"\x34\x12"
+        assert encode_blob([2**32 - 1]) == b"\xff\xff\xff\xff"
+
+    def test_non_ascending_raises(self):
+        with pytest.raises(ValueError):
+            encode_blob([5, 3])
+        with pytest.raises(ValueError):
+            encode_blob([1, 2, 10, 9, 20])
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            encode_blob([-1])
+        with pytest.raises(ValueError):
+            encode_blob([1, 2**32])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            encode_blob([])
+
+    def test_boundary_u32_max(self):
+        """2^32-1 survives every layout (the widest 4-byte lane)."""
+        top = 2**32 - 1
+        for values in ([top], [top - 1, top], [0, 1, top],
+                       [top - 5, top - 4, top - 3, top - 2, top - 1, top]):
+            payload = encode_blob(values)
+            layout = blob_layout(len(values))
+            assert blob_count(layout, payload) == len(values)
+            assert decode_blob(layout, payload).tolist() == values
+
+    def test_blob_count_rejects_truncation(self):
+        values = list(range(100, 160))
+        payload = encode_blob(values)
+        layout = blob_layout(len(values))
+        with pytest.raises(ValueError):
+            blob_count(layout, payload[:-1])
+        with pytest.raises(ValueError):
+            blob_count(BLOB_SINGLE, b"")
+        with pytest.raises(ValueError):
+            blob_count(BLOB_SINGLE, b"\x00" * 5)
+
+    def test_delta_is_continuous_across_groups(self):
+        """Blob deltas never restart: 8 near-equal values stay 1-byte
+        lanes in group 2 (a per-group restart would need 4 wide lanes).
+        """
+        values = [10_000_000 + i for i in range(8)]
+        payload = encode_blob(values)
+        # 1 count byte + 2 control bytes + 3-byte first delta
+        # (10,000,000) + 7 one-byte deltas; a restart at group 2 would
+        # make lane 4 another 3-byte absolute value.
+        assert len(payload) == 1 + 2 + 3 + 7
+
+
+@settings(max_examples=200, deadline=None)
+@given(ascending_u32)
+def test_blob_roundtrip_property(values):
+    """encode_blob → decode_blob is the identity for sorted uint32."""
+    payload = encode_blob(values)
+    layout = blob_layout(len(values))
+    assert blob_count(layout, payload) == len(values)
+    assert decode_blob(layout, payload).tolist() == values
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(ascending_u32, min_size=1, max_size=12))
+def test_blobs_packed_bulk_matches_scalar(blob_values):
+    """The vectorized bulk decoder agrees with per-blob decoding when
+    many blobs of mixed layouts are packed into one byte stream."""
+    payloads = [encode_blob(v) for v in blob_values]
+    layouts = np.array([blob_layout(len(v)) for v in blob_values],
+                      dtype=np.int64)
+    counts = np.array([len(v) for v in blob_values], dtype=np.int64)
+    sizes = np.array([len(p) for p in payloads], dtype=np.int64)
+    offsets = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+    src = np.frombuffer(b"".join(payloads), dtype=np.uint8)
+    bulk = decode_blobs_packed(src, offsets, sizes, counts, layouts)
+    scalar = np.concatenate(
+        [decode_blob(int(la), p) for la, p in zip(layouts, payloads)])
+    assert np.array_equal(bulk, scalar)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_leb128_roundtrip(value):
+    buf = leb128_encode(value)
+    decoded, consumed = leb128_decode(buf)
+    assert decoded == value and consumed == len(buf)
