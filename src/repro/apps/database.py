@@ -60,32 +60,46 @@ class VendGraphDB:
         disk-backed path, ``cache_bytes=0``, and forces the sharded
         store/parallel engine even at ``shards=1`` (the process
         pipeline needs a router).
+    replicas:
+        Replica copies per shard (forces the sharded store even at
+        ``shards=1``).  Writes reach every copy synchronously; reads
+        fail over when a copy's backing store degrades, and
+        :meth:`reset_degraded` repairs and reinstates.  Incompatible
+        with ``executor="process"`` — failover is coordinator state.
 
     ::
 
         db = VendGraphDB(shards=4)      # 4 segments, 4 worker threads
         db.load_graph(graph)
         db.has_edge_batch(us, vs)       # shard-parallel pipeline
+        db.reshard(8)                   # online: queries keep flowing
     """
 
     def __init__(self, path: str | Path | None = None, k: int = 8,
                  method: str = "hyb+", cache_bytes: int = 0,
                  id_bits: int | None = None, shards: int = 1,
                  workers: int | None = None, compress: bool = False,
-                 use_mmap: bool = False, executor: str = "thread"):
+                 use_mmap: bool = False, executor: str = "thread",
+                 replicas: int = 0):
         if method not in _METHODS:
             raise ValueError(f"method must be one of {sorted(_METHODS)}")
         if shards < 1:
             raise ValueError("shards must be >= 1")
+        if replicas < 0:
+            raise ValueError("replicas must be >= 0")
         if executor == "process" and path is None:
             raise ValueError("executor='process' requires a disk-backed "
                              "path (workers mmap the segment logs)")
+        if executor == "process" and replicas:
+            raise ValueError("executor='process' does not support "
+                             "replicas: failover is coordinator state")
         self.vend: _HybridBase = _METHODS[method](k=k, id_bits=id_bits)
-        if shards > 1 or executor == "process":
+        if shards > 1 or replicas > 0 or executor == "process":
             self.store = ShardedGraphStore(path, num_shards=shards,
                                            cache_bytes=cache_bytes,
                                            compress=compress,
-                                           use_mmap=use_mmap)
+                                           use_mmap=use_mmap,
+                                           replicas=replicas)
             self._engine = ParallelEdgeQueryEngine(self.store, self.vend,
                                                    workers=workers,
                                                    executor=executor)
@@ -100,6 +114,11 @@ class VendGraphDB:
     def num_shards(self) -> int:
         """Storage segment count (1 = unsharded legacy layout)."""
         return getattr(self.store, "num_shards", 1)
+
+    @property
+    def replicas(self) -> int:
+        """Replica copies per shard (0 = unreplicated)."""
+        return getattr(self.store, "num_replicas", 0)
 
     def _fetch_for_maintenance(self, v: int) -> list[int]:
         """Adjacency fetch booked to maintenance, not any query engine.
@@ -199,6 +218,49 @@ class VendGraphDB:
         self.vend.delete_vertex(v, self._fetch_for_maintenance)
         self.store.delete_vertex(v)
         return True
+
+    # -- topology ----------------------------------------------------------------
+
+    def reshard(self, num_shards: int, path: str | Path | None = None,
+                batch: int = 512) -> None:
+        """Reshard storage **online** to ``num_shards`` segments.
+
+        Queries and updates keep flowing the whole time: the store
+        opens a new generation, this call walks vertices across in
+        ``batch``-sized exclusively-locked chunks (concurrent batches
+        interleave between chunks), and the final flip lands only
+        after a durable flush of the new layout.  The VEND index is
+        untouched — the router decides placement, never encoding.
+
+        Requires sharded storage (``shards>1``, ``replicas>0``, or an
+        explicit reshard target from such a config) and the thread
+        executor — process workers hold mmaps of the old generation's
+        segment files.
+        """
+        begin = getattr(self.store, "begin_reshard", None)
+        if begin is None:
+            raise ValueError("reshard() requires sharded storage "
+                             "(construct with shards>1 or replicas>0)")
+        if getattr(self._engine, "executor", "thread") == "process":
+            raise ValueError("online reshard is not supported with "
+                             "executor='process': workers mmap the old "
+                             "generation's segment files")
+        begin(num_shards, path=path)
+        while self.store.migrate_step(batch):
+            pass
+        self.store.finish_reshard()
+
+    def reset_degraded(self) -> None:
+        """Operational recovery: clear the storage layer's fault latches.
+
+        Replicated shards additionally repair stale copies from the
+        serving copy and reinstate their home primary.  After this
+        returns, :attr:`degraded` is False unless a backing store is
+        *still* failing.
+        """
+        reset = getattr(self.store, "reset_degraded", None)
+        if reset is not None:
+            reset()
 
     # -- stats / lifecycle ----------------------------------------------------------
 

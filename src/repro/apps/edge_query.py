@@ -29,6 +29,7 @@ import multiprocessing
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import nullcontext
 
 import numpy as np
 
@@ -268,10 +269,41 @@ class ParallelEdgeQueryEngine(EdgeQueryEngine):
                 thread_name_prefix=f"{self.stats.scope}-shard",
             )
         self._book_lock = threading.Lock()
-        self.shard_stats = [
+        self._store_generation = getattr(store, "generation", 0)
+        self.shard_stats = self._build_shard_stats()
+
+    def _build_shard_stats(self) -> list[QueryStats]:
+        return [
             QueryStats(store=segment, scope=self.stats.scope, shard=str(i))
-            for i, segment in enumerate(store.segments)
+            for i, segment in enumerate(self.store.segments)
         ]
+
+    def _read_guard(self):
+        """The store's shared-side mutation guard (no-op for stores
+        without one).  Held across a whole batch so a mutation or a
+        reshard generation flip can never land mid-merge."""
+        guard = getattr(self.store, "read_guard", None)
+        return guard() if guard is not None else nullcontext()
+
+    def _sync_generation(self) -> None:
+        """Refresh per-shard bookkeeping after a topology change.
+
+        ``store.generation`` bumps when an online reshard begins (the
+        routable segment space grows to old + new) and again at the
+        flip (it shrinks to the new layout).  Callers hold the shared
+        guard, so the topology cannot move again mid-sync.  Per-shard
+        series are label-keyed (engine scope + shard index), so shard
+        ``i`` of the new layout continues the series of shard ``i`` of
+        the old one — aggregate totals are unaffected.
+        """
+        generation = getattr(self.store, "generation", 0)
+        if generation == self._store_generation:
+            return
+        with self._book_lock:
+            if generation == self._store_generation:
+                return
+            self.shard_stats = self._build_shard_stats()
+            self._store_generation = generation
 
     @staticmethod
     def _validate_process_segments(store: ShardedGraphStore) -> None:
@@ -280,9 +312,19 @@ class ParallelEdgeQueryEngine(EdgeQueryEngine):
         block cache off: workers cannot see a coordinator-side cache
         (stats would diverge from the serial engine), an in-memory
         store has no file to map, and a fault-injecting wrapper's
-        dice rolls cannot be replicated across processes.
+        dice rolls cannot be replicated across processes.  Replicated
+        segments are rejected for the same reason: failover is
+        coordinator-side state workers cannot observe.
         """
+        if getattr(store, "num_replicas", 0):
+            raise ValueError(
+                "executor='process' does not support replicated shards: "
+                "failover state lives in the coordinator")
         for i, seg in enumerate(store.segments):
+            if getattr(seg, "is_replicated", False):
+                raise ValueError(
+                    f"executor='process' does not support replicated "
+                    f"shards; shard {i} is a ReplicatedShard")
             kv = seg._kv
             if type(kv) is not DiskKVStore:
                 raise ValueError(
@@ -297,33 +339,38 @@ class ParallelEdgeQueryEngine(EdgeQueryEngine):
     def has_edge(self, u: int, v: int) -> bool:
         """Scalar query routed to the owning shard, dual-booked."""
         tracer = default_tracer()
-        shard = self.store.router.shard_of(u)
-        stats = self.shard_stats[shard]
         start = time.perf_counter()
         try:
-            with tracer.span("query", engine=self.stats.scope,
-                             shard=str(shard)), self._book_lock:
-                self.stats.inc("total")
-                stats.inc("total")
-                if self.nonedge_filter is not None:
-                    with tracer.span("ndf_filter"):
-                        certain = self.nonedge_filter.is_nonedge(u, v)
-                    if certain:
-                        self.stats.inc("filtered")
-                        stats.inc("filtered")
-                        return False
-                self.stats.inc("executed")
-                stats.inc("executed")
-                receipt = ReadReceipt()
-                exists = self.store.has_edge(u, v, receipt=receipt)
-                for view in (self.stats, stats):
-                    view.inc("cache_served", receipt.cache_hits)
-                    view.inc("disk_served", receipt.disk_reads)
-                    if exists:
-                        view.inc("positives")
-                return exists
+            with self._read_guard():
+                self._sync_generation()
+                return self._has_edge_guarded(tracer, u, v)
         finally:
             self._observe_latency("scalar", time.perf_counter() - start)
+
+    def _has_edge_guarded(self, tracer, u: int, v: int) -> bool:
+        shard = self.store.router.shard_of(u)
+        stats = self.shard_stats[shard]
+        with tracer.span("query", engine=self.stats.scope,
+                         shard=str(shard)), self._book_lock:
+            self.stats.inc("total")
+            stats.inc("total")
+            if self.nonedge_filter is not None:
+                with tracer.span("ndf_filter"):
+                    certain = self.nonedge_filter.is_nonedge(u, v)
+                if certain:
+                    self.stats.inc("filtered")
+                    stats.inc("filtered")
+                    return False
+            self.stats.inc("executed")
+            stats.inc("executed")
+            receipt = ReadReceipt()
+            exists = self.store.has_edge(u, v, receipt=receipt)
+            for view in (self.stats, stats):
+                view.inc("cache_served", receipt.cache_hits)
+                view.inc("disk_served", receipt.disk_reads)
+                if exists:
+                    view.inc("positives")
+            return exists
 
     def _query_slice(self, shard: int, us: np.ndarray, vs: np.ndarray):
         """One pool task: NDF + storage probe for one shard's pairs.
@@ -354,18 +401,24 @@ class ParallelEdgeQueryEngine(EdgeQueryEngine):
         The filter is republished when its identity or batch snapshot
         changed (solutions swap ``_batch_index`` for a fresh object on
         every maintenance-driven rebuild, so object identity is a
-        sound staleness signal).  Shard state is republished when the
-        segment's ``mutation_count`` moved.  Superseded blocks are
-        unlinked immediately — attached workers keep their mapping
-        until they pick up the new generation.
+        sound staleness signal).  The token holds strong references
+        and compares with ``is`` — comparing ``id()`` values is not
+        sound, because CPython reuses the id of a freed snapshot for
+        its replacement, which silently skipped the republish and left
+        workers filtering with stale codes.  Shard state is
+        republished when the segment's ``mutation_count`` moved.
+        Superseded blocks are unlinked immediately — attached workers
+        keep their mapping until they pick up the new generation.
         """
         metas: dict[str, dict | None] = {}
         filt = self.nonedge_filter
         if filt is None:
             metas["filter"] = None
         else:
-            token = (id(filt), id(getattr(filt, "_batch_index", None)))
-            if self._published_gen.get("filter") != token:
+            token = (filt, getattr(filt, "_batch_index", None))
+            prev = self._published_gen.get("filter")
+            if (prev is None or prev[0] is not token[0]
+                    or prev[1] is not token[1]):
                 self._filter_gen += 1
                 shared = SharedObject(filt, "filter", self._filter_gen)
                 old = self._published.get("filter")
@@ -398,30 +451,36 @@ class ParallelEdgeQueryEngine(EdgeQueryEngine):
                 return answers
             if self.nonedge_filter is not None:
                 warm_batch_snapshot(self.nonedge_filter)
-            if self.executor == "process":
-                return self._process_batch(us, vs, answers)
-            slices = list(shard_slices(self.store.router, us, vs))
-            futures = [
-                (shard, idx,
-                 self._pool.submit(self._query_slice, shard, su, sv))
-                for shard, idx, su, sv in slices
-            ]
-            with self._book_lock:
-                self.stats.inc("total", n)
-                for shard, idx, future in futures:
-                    slice_answers, filtered, executed, receipt = (
-                        future.result())
-                    answers[idx] = slice_answers
-                    positives = int(slice_answers.sum())
-                    shard_view = self.shard_stats[shard]
-                    shard_view.inc("total", len(idx))
-                    for view in (self.stats, shard_view):
-                        view.inc("filtered", filtered)
-                        view.inc("executed", executed)
-                        view.inc("cache_served", receipt.cache_hits)
-                        view.inc("disk_served", receipt.disk_reads)
-                        view.inc("positives", positives)
-            return answers
+            # The shared guard spans partition → fan-out → merge, so a
+            # mutation or reshard flip cannot move a vertex between the
+            # routing decision and the per-segment probe.  Pool tasks
+            # rely on the coordinator's hold; they take no locks.
+            with self._read_guard():
+                self._sync_generation()
+                if self.executor == "process":
+                    return self._process_batch(us, vs, answers)
+                slices = list(shard_slices(self.store.router, us, vs))
+                futures = [
+                    (shard, idx,
+                     self._pool.submit(self._query_slice, shard, su, sv))
+                    for shard, idx, su, sv in slices
+                ]
+                with self._book_lock:
+                    self.stats.inc("total", n)
+                    for shard, idx, future in futures:
+                        slice_answers, filtered, executed, receipt = (
+                            future.result())
+                        answers[idx] = slice_answers
+                        positives = int(slice_answers.sum())
+                        shard_view = self.shard_stats[shard]
+                        shard_view.inc("total", len(idx))
+                        for view in (self.stats, shard_view):
+                            view.inc("filtered", filtered)
+                            view.inc("executed", executed)
+                            view.inc("cache_served", receipt.cache_hits)
+                            view.inc("disk_served", receipt.disk_reads)
+                            view.inc("positives", positives)
+                return answers
 
     def _process_batch(self, us, vs, answers) -> np.ndarray:
         """Fan a batch out to the process pool and book the results.

@@ -12,7 +12,8 @@ Commands cover the basic operational loop of a VEND deployment:
 - ``lint`` — the VEND invariant linter (rules R001–R006, DESIGN.md §9);
 - ``audit`` — seeded differential soundness sweep over registered
   solutions (zero false no-edge verdicts, scalar/batch agreement,
-  post-maintenance validity);
+  post-maintenance validity); ``--chaos`` adds the kill-a-shard
+  failover + online-reshard sweep over a replicated store;
 - ``stats`` — run a seeded end-to-end workload and export every
   counter from the metrics registry (text, ``--json``, or
   ``--prometheus``);
@@ -22,9 +23,10 @@ Commands cover the basic operational loop of a VEND deployment:
   the shard-parallel engine, with ``--check-speedup`` as a CI gate.
 
 ``stats``, ``trace``, ``audit`` and ``bench`` accept
-``--shards``/``--workers`` (default: the ``REPRO_SHARDS`` env var,
-else 1) to exercise the hash-partitioned store and thread-pool engine
-instead of the serial path, plus the storage-tier switches
+``--shards``/``--workers``/``--replicas`` (defaults: the
+``REPRO_SHARDS``/``REPRO_WORKERS``/``REPRO_REPLICAS`` env vars) to
+exercise the hash-partitioned store, thread-pool engine, and replica
+failover instead of the serial path, plus the storage-tier switches
 ``--compress`` (StreamVByte v3 adjacency records, default
 ``$REPRO_COMPRESS``), ``--mmap`` (mmap-served packed reads, default
 ``$REPRO_MMAP``) and ``--executor {thread,process}`` (default
@@ -133,14 +135,29 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--updates", type=int, default=50)
     audit.add_argument("--no-maintenance", action="store_true",
                        help="skip the insert+delete maintenance phase")
+    audit.add_argument("--chaos", action="store_true",
+                       help="kill-a-shard failover + online-reshard sweep "
+                            "(needs --shards > 1; uses --replicas, default "
+                            "1, and seeds injectors from $REPRO_FAULT_SEED)")
+    audit.add_argument("--reshard-to", type=int, default=None,
+                       help="online-reshard target for --chaos "
+                            "(default: shards // 2)")
 
     def add_shard_args(sub) -> None:
         sub.add_argument("--shards", type=int,
                          default=int(os.environ.get("REPRO_SHARDS", "1")),
                          help="storage segments (>1 enables the parallel "
                               "engine; default: $REPRO_SHARDS or 1)")
-        sub.add_argument("--workers", type=int, default=None,
-                         help="query pool threads (default: one per shard)")
+        sub.add_argument("--workers", type=int,
+                         default=int(os.environ.get("REPRO_WORKERS", "0"))
+                         or None,
+                         help="query pool threads (default: $REPRO_WORKERS "
+                              "or one per shard)")
+        sub.add_argument("--replicas", type=int,
+                         default=int(os.environ.get("REPRO_REPLICAS", "0")),
+                         help="replica copies per shard (default: "
+                              "$REPRO_REPLICAS or 0; >0 enables read "
+                              "failover + repair)")
         sub.add_argument("--compress", action="store_true",
                          default=_env_flag("REPRO_COMPRESS"),
                          help="store adjacency blobs as StreamVByte v3 "
@@ -360,6 +377,25 @@ def _cmd_audit(args) -> int:
             )
             print(report.summary())
             failed += 0 if report.ok else 1
+    if args.chaos:
+        from .devtools import audit_chaos
+        from .storage.faults import FAULT_SEED_ENV
+
+        fault_seed = int(os.environ.get(FAULT_SEED_ENV, str(args.seed)))
+        replicas = max(1, args.replicas)
+        print(f"chaos sweep: shards={args.shards} replicas={replicas} "
+              f"reshard_to={args.reshard_to or max(1, args.shards // 2)} "
+              f"fault_seed={fault_seed}")
+        for name in names:
+            report = audit_chaos(
+                graph, create_solution(name, k=args.k),
+                shards=args.shards, replicas=replicas,
+                workers=args.workers or args.shards, seed=fault_seed,
+                pairs=args.pairs, updates=args.updates,
+                reshard_to=args.reshard_to,
+            )
+            print(report.summary())
+            failed += 0 if report.ok else 1
     if failed:
         print(f"audit: {failed} audit(s) FAILED")
         return 1
@@ -401,7 +437,8 @@ def _obs_workload(args) -> None:
                          cache_bytes=cache_bytes,
                          shards=args.shards, workers=args.workers,
                          compress=compress, use_mmap=use_mmap,
-                         executor=executor)
+                         executor=executor,
+                         replicas=getattr(args, "replicas", 0))
         db.load_graph(graph)
         edges = sorted(graph.edges())[:args.updates]
         for u, v in edges:
@@ -488,7 +525,8 @@ def _cmd_bench(args) -> int:
                              cache_bytes=cache_bytes,
                              shards=shards, workers=workers,
                              compress=args.compress, use_mmap=args.mmap,
-                             executor=executor)
+                             executor=executor,
+                             replicas=(args.replicas if shards > 1 else 0))
             db.load_graph(graph)
             db.has_edge_batch(us, vs)  # warm-up: page cache + checksums
             best = min(_timed_batch(db, us, vs)

@@ -8,8 +8,10 @@ every registered solution.  Both are wired into CI — see DESIGN.md §9.
 from .audit import (
     AuditReport,
     AuditViolation,
+    ChaosAuditReport,
     ParallelAuditReport,
     SoundnessAuditor,
+    audit_chaos,
     audit_parallel_engine,
 )
 from .linter import RULES, Finding, Linter, lint_paths
@@ -24,4 +26,6 @@ __all__ = [
     "SoundnessAuditor",
     "ParallelAuditReport",
     "audit_parallel_engine",
+    "ChaosAuditReport",
+    "audit_chaos",
 ]

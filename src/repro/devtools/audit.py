@@ -38,6 +38,8 @@ __all__ = [
     "SoundnessAuditor",
     "ParallelAuditReport",
     "audit_parallel_engine",
+    "ChaosAuditReport",
+    "audit_chaos",
 ]
 
 
@@ -417,4 +419,232 @@ def audit_parallel_engine(graph: Graph, solution: VendSolution,
     serial_store.close()
     sharded_store.close()
     stack.close()
+    return report
+
+
+@dataclass
+class ChaosAuditReport:
+    """Outcome of the kill-a-shard + online-reshard chaos sweep."""
+
+    solution: str
+    shards: int
+    replicas: int
+    seed: int
+    pairs_checked: int = 0
+    false_noedges: int = 0
+    verdict_mismatches: int = 0
+    failovers: int = 0
+    repairs: int = 0
+    reshard_to: int = 0
+    reshard_rounds: int = 0
+    degraded_after_heal: bool = False
+    store_divergence: int = 0
+    soundness_violations: int = 0
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (not self.false_noedges and not self.verdict_mismatches
+                and not self.degraded_after_heal and not self.store_divergence
+                and not self.soundness_violations and not self.errors
+                and self.failovers > 0)
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else (
+            f"FAIL (false_noedges={self.false_noedges} "
+            f"mismatches={self.verdict_mismatches} "
+            f"failovers={self.failovers} "
+            f"degraded_after_heal={self.degraded_after_heal} "
+            f"divergence={self.store_divergence} "
+            f"soundness={self.soundness_violations} "
+            f"errors={self.errors})"
+        )
+        return (
+            f"{self.solution:<10} chaos shards={self.shards}"
+            f"->{self.reshard_to} replicas={self.replicas} seed={self.seed} "
+            f"pairs={self.pairs_checked} failovers={self.failovers} "
+            f"repairs={self.repairs} {status}"
+        )
+
+
+def audit_chaos(graph: Graph, solution: VendSolution, shards: int = 4,
+                replicas: int = 1, workers: int = 4, seed: int = 0,
+                pairs: int = 1000, updates: int = 20,
+                reshard_to: int | None = None) -> ChaosAuditReport:
+    """Kill a shard mid-workload, heal it, then reshard online — and
+    require correct answers throughout.
+
+    The sweep drives a serial reference engine and a replicated sharded
+    :class:`~repro.apps.ParallelEdgeQueryEngine` through four phases,
+    checking after every batch that the sharded verdicts match the
+    serial ones bitwise and never contradict ground truth:
+
+    1. **baseline** — a clean seeded workload;
+    2. **kill** — shard 0's primary starts failing every read (its
+       :class:`~repro.storage.faults.FaultInjectingKVStore` is turned
+       up to ``read_error_rate=1.0``); reads must fail over to a
+       replica with zero wrong answers, and ``failovers`` must move;
+    3. **heal** — fault rates drop to zero and
+       ``store.reset_degraded()`` repairs + reinstates; the store must
+       come back non-degraded;
+    4. **online reshard** — ``begin_reshard(reshard_to)`` (default
+       ``max(1, shards // 2)``), with migration chunks interleaved
+       against live query batches *and* seeded insert/delete traffic,
+       then the generation flip.  The post-migration store is read back
+       whole and compared record-for-record against the mutated ground
+       truth, and a :class:`SoundnessAuditor` pass on the final graph
+       gates the result.
+
+    The primary injectors are seeded from ``seed`` (CI rotates
+    ``REPRO_FAULT_SEED`` into it), so every run is reproducible.
+    """
+    import numpy as np
+
+    from ..apps.edge_query import EdgeQueryEngine, ParallelEdgeQueryEngine
+    from ..storage import (
+        FaultConfig,
+        FaultInjectingKVStore,
+        GraphStore,
+        ShardedGraphStore,
+    )
+    from ..storage.kvstore import InMemoryKVStore
+
+    if reshard_to is None:
+        reshard_to = max(1, shards // 2)
+    report = ChaosAuditReport(
+        solution=getattr(solution, "name", "?"), shards=shards,
+        replicas=max(1, replicas), seed=seed, reshard_to=reshard_to,
+    )
+
+    # Wrap every *primary* in a seeded fault injector; replicas stay
+    # clean.  ``_build_segment`` calls the factory primary-first for
+    # each shard (and again for each new generation), so a global call
+    # counter modulo the copy count identifies the primary.
+    copies_per_shard = report.replicas + 1
+    primary_injectors: list[FaultInjectingKVStore] = []
+    calls = [0]
+
+    def kv_factory(seg_path, shard):
+        is_primary = calls[0] % copies_per_shard == 0
+        calls[0] += 1
+        inner = InMemoryKVStore()
+        if not is_primary:
+            return inner
+        injector = FaultInjectingKVStore(
+            inner, FaultConfig(seed=seed + len(primary_injectors)))
+        primary_injectors.append(injector)
+        return injector
+
+    serial_store = GraphStore()
+    serial_store.bulk_load(graph)
+    sharded_store = ShardedGraphStore(num_shards=shards,
+                                      kv_factory=kv_factory,
+                                      replicas=report.replicas)
+    sharded_store.bulk_load(graph)
+    serial = EdgeQueryEngine(serial_store, solution)
+    parallel = ParallelEdgeQueryEngine(sharded_store, solution,
+                                       workers=workers)
+    mutated = Graph(sorted(graph.edges()))
+
+    def run_phase(offset: int, phase: str, count: int = pairs) -> None:
+        workload = random_pairs(mutated, count, seed=seed + offset)
+        workload += common_neighbor_pairs(mutated, count,
+                                          seed=seed + offset + 1)
+        workload += sorted(mutated.edges())
+        us = np.asarray([u for u, _ in workload], dtype=np.int64)
+        vs = np.asarray([v for _, v in workload], dtype=np.int64)
+        try:
+            expected = serial.has_edge_batch(us, vs)
+            got = parallel.has_edge_batch(us, vs)
+        except Exception as exc:  # noqa: BLE001 - a crash is a finding
+            report.errors.append(f"[{phase}] {type(exc).__name__}: {exc}")
+            return
+        report.pairs_checked += len(workload)
+        report.verdict_mismatches += int((expected != got).sum())
+        truth = np.fromiter(
+            (mutated.has_edge(int(u), int(v)) for u, v in workload),
+            dtype=bool, count=len(workload),
+        )
+        report.false_noedges += int((truth & ~got).sum())
+
+    def mutate(offset: int, count: int) -> None:
+        for u, v in sample_insertions(mutated, count, seed=seed + offset):
+            mutated.add_edge(u, v)
+            serial_store.insert_edge(u, v)
+            sharded_store.insert_edge(u, v)
+        for u, v in sample_deletions(mutated, count, seed=seed + offset + 1):
+            if mutated.has_edge(u, v):
+                mutated.remove_edge(u, v)
+                serial_store.delete_edge(u, v)
+                sharded_store.delete_edge(u, v)
+        solution.build(mutated)
+
+    def failover_count() -> int:
+        return sum(seg.replication_stats.failovers
+                   for seg in sharded_store.segments
+                   if getattr(seg, "is_replicated", False))
+
+    # Phase 1: baseline.
+    run_phase(0, "baseline")
+
+    # Phase 2: kill shard 0's primary mid-workload.
+    primary_injectors[0].config.read_error_rate = 1.0
+    run_phase(100, "kill")
+    if failover_count() == 0:
+        report.errors.append(
+            "[kill] no failover recorded with the primary dead")
+
+    # Phase 3: heal and repair.
+    primary_injectors[0].config.read_error_rate = 0.0
+    sharded_store.reset_degraded()
+    report.repairs = sum(seg.replication_stats.repairs
+                         for seg in sharded_store.segments
+                         if getattr(seg, "is_replicated", False))
+    if sharded_store.degraded:
+        report.degraded_after_heal = True
+    run_phase(200, "healed")
+    # Book failovers now: the reshard flip retires the generation whose
+    # replica sets absorbed the kill.
+    report.failovers = failover_count()
+
+    # Phase 4: online reshard under concurrent reads and writes.
+    chunk = max(16, sharded_store.num_vertices // 8)
+    sharded_store.begin_reshard(reshard_to)
+    while True:
+        moved = sharded_store.migrate_step(chunk)
+        mutate(300 + 10 * report.reshard_rounds, max(1, updates // 4))
+        run_phase(400 + 10 * report.reshard_rounds, "resharding",
+                  count=max(1, pairs // 4))
+        report.reshard_rounds += 1
+        if moved == 0 or report.reshard_rounds >= 8:
+            break
+    sharded_store.finish_reshard()
+    if sharded_store.num_shards != reshard_to:
+        report.errors.append(
+            f"[reshard] flip landed on {sharded_store.num_shards} shards, "
+            f"wanted {reshard_to}")
+    run_phase(900, "post-reshard")
+
+    # Post-migration: the flipped store must hold exactly the mutated
+    # ground truth, record for record.
+    stored = {}
+    for v in sharded_store.vertices():
+        stored[v] = list(sharded_store.get_neighbors(v))
+    expected_adj = {v: mutated.sorted_neighbors(v)
+                    for v in mutated.vertices()}
+    for v, neighbors in expected_adj.items():
+        if stored.get(v) != neighbors:
+            report.store_divergence += 1
+    report.store_divergence += sum(1 for v in stored
+                                   if v not in expected_adj)
+
+    # Gate on the soundness auditor against the final graph.
+    auditor = SoundnessAuditor(mutated, seed=seed, pairs=pairs,
+                               updates=updates)
+    sound = auditor.audit(solution)
+    report.soundness_violations = len(sound.violations)
+
+    parallel.close()
+    serial_store.close()
+    sharded_store.close()
     return report

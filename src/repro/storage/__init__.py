@@ -15,13 +15,17 @@ from .kvstore import (
     InMemoryKVStore,
     StorageStats,
 )
-from .sharding import ShardedGraphStore, ShardRouter
+from .replication import ReplicatedShard, ReplicationStats
+from .sharding import ReshardStats, ShardedGraphStore, ShardRouter
 
 __all__ = [
     "LRUCache",
     "GraphStore",
     "ShardRouter",
     "ShardedGraphStore",
+    "ReplicatedShard",
+    "ReplicationStats",
+    "ReshardStats",
     "DiskKVStore",
     "InMemoryKVStore",
     "StorageStats",

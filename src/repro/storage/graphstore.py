@@ -335,6 +335,24 @@ class GraphStore:
         self._kv.delete(v)
         return True
 
+    # -- lifecycle -----------------------------------------------------------
+
+    def flush(self, sync: bool = False) -> None:
+        """Flush buffered writes; ``sync=True`` fsyncs for durability.
+
+        The public flush boundary — callers (the sharded store, the
+        reshard generation flip) must not reach into ``_kv``.
+        """
+        self._kv.flush(sync)
+
+    def reset_degraded(self) -> None:
+        """Clear the backing store's fault latch after recovery.
+
+        No-op for stores without one (plain disk/in-memory KV)."""
+        reset = getattr(self._kv, "reset_degraded", None)
+        if reset is not None:
+            reset()
+
     def close(self) -> None:
         self._kv.close()
 

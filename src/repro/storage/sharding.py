@@ -4,8 +4,8 @@ Production graph stores scale reads by partitioning: ε-Cost Sharding
 (Vigna 2025) shows a static filter structure can be hash-split into
 independent shards at near-zero per-shard cost, and the paper's own
 NDF is embarrassingly parallel across query pairs — ``F(f(u), f(v))``
-has no cross-pair dependencies.  This module supplies the two pieces
-that make that concrete here:
+has no cross-pair dependencies.  This module supplies the pieces that
+make that concrete here:
 
 - :class:`ShardRouter` — a **stable** hash of vertex id → shard.  The
   same mixer (splitmix64's finalizer) runs scalar and vectorized, is
@@ -20,6 +20,19 @@ that make that concrete here:
   half-edges routed to the segments owning ``u`` and ``v``; batched
   probes partition the pair array by the owner of the *left* endpoint,
   which is the only endpoint whose adjacency list is read.
+- **Replication** (``replicas=R``) wraps every segment in a
+  :class:`~repro.storage.replication.ReplicatedShard`: writes reach a
+  primary plus R replicas, reads fail over when the primary degrades,
+  and ``reset_degraded()`` repairs and reinstates.
+- **Online resharding** — a two-generation routing table.
+  :meth:`ShardedGraphStore.begin_reshard` opens a second generation of
+  segments; :meth:`migrate_step` walks vertices into the new layout in
+  small exclusively-locked chunks while reads keep flowing (the old
+  generation stays write-complete, migrated vertices are served from
+  their new placement); :meth:`finish_reshard` flushes the new
+  generation durably (``sync=True``) and atomically flips the router.
+  ``reshard()`` remains the offline full-rewrite path, now inheriting
+  the source store's configuration.
 
 Per-segment isolation is what makes thread-pool execution safe and
 attribution exact: pool tasks touch disjoint segment files, disjoint
@@ -27,24 +40,39 @@ caches, and disjoint ``StorageStats`` scopes, so no shared mutable
 counter is ever incremented from two threads at once.  Fault injection
 passes through per shard — wrap any subset of segments via
 ``kv_factory`` and only those segments degrade.
+
+**Mutation guard.**  Multi-segment mutations (``insert_edge``,
+``delete_edge``, ``delete_vertex``), migration steps, and the
+generation flip take an exclusive lock; read entry points (and the
+parallel engine, for the whole span of a batch via
+:meth:`read_guard`) take it shared.  A concurrent batch therefore
+never observes a vertex half-deleted across segments or a router
+mid-flip — the invariant the threaded regression tests hammer.
 """
 
 from __future__ import annotations
 
+import threading
+from collections.abc import Iterator
+from contextlib import contextmanager
 from pathlib import Path
 
 import numpy as np
 
 from ..graph import DiGraph, Graph
-from ..obs import ReadReceipt
+from ..obs import ReadReceipt, StatsView
 from .graphstore import GraphStore
+from .replication import ReplicatedShard
 
-__all__ = ["ShardRouter", "ShardedGraphStore"]
+__all__ = ["ShardRouter", "ShardedGraphStore", "ReshardStats"]
 
 _MASK64 = (1 << 64) - 1
 _C1 = 0xBF58476D1CE4E5B9
 _C2 = 0x94D049BB133111EB
 _GOLDEN = 0x9E3779B97F4A7C15
+
+#: Sentinel for "inherit this knob from the source store" (reshard).
+_INHERIT = object()
 
 
 def _mix64(x: int) -> int:
@@ -101,6 +129,162 @@ class ShardRouter:
         return np.split(order, np.cumsum(counts)[:-1])
 
 
+class _MigrationRouter:
+    """Two-generation routing table used while a reshard is live.
+
+    Segment indices form one combined space: ``[0, S)`` are the old
+    generation's segments, ``[S, S + S′)`` the new generation's.  A
+    vertex already copied (in ``migrated``) routes to its **new**
+    placement — reads exercise the new segments as the copy advances,
+    and read-your-writes holds because writes to migrated vertices land
+    in both generations.  Uncopied vertices route to their old
+    placement, which stays write-complete until the flip.
+    """
+
+    def __init__(self, old: ShardRouter, new: ShardRouter,
+                 migrated: set[int]):
+        self.old = old
+        self.new = new
+        self.migrated = migrated
+        self.num_shards = old.num_shards + new.num_shards
+
+    def shard_of(self, v: int) -> int:
+        if int(v) in self.migrated:
+            return self.old.num_shards + self.new.shard_of(v)
+        return self.old.shard_of(v)
+
+    def shard_of_array(self, ids) -> np.ndarray:
+        ids = np.asarray(ids, dtype=np.int64)
+        shards = self.old.shard_of_array(ids)
+        if self.migrated:
+            moved = np.fromiter((int(v) in self.migrated for v in ids),
+                                dtype=bool, count=len(ids))
+            if moved.any():
+                shards = shards.copy()
+                shards[moved] = (self.old.num_shards
+                                 + self.new.shard_of_array(ids[moved]))
+        return shards
+
+    def partition(self, ids) -> list[np.ndarray]:
+        shards = self.shard_of_array(ids)
+        order = np.argsort(shards, kind="stable")
+        counts = np.bincount(shards, minlength=self.num_shards)
+        return np.split(order, np.cumsum(counts)[:-1])
+
+
+class _RWLock:
+    """Writer-preferring reader/writer lock, re-entrant on both sides.
+
+    Readers are the query entry points (and the parallel engine's
+    whole-batch guard, which nests over the store's own internal
+    shared holds); writers are multi-segment mutations, migration
+    steps, and the generation flip.  The thread holding the exclusive
+    side may re-enter the shared side (``delete_vertex`` reads the
+    owner's adjacency mid-mutation) — that re-entry is a no-op.  A
+    thread already holding the shared side re-enters it without
+    re-checking the writer queue, so writer preference can never
+    deadlock a nested read.  Pool threads probing segments do not
+    touch the lock at all; the coordinator holds it for them.
+    """
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer: int | None = None
+        self._writer_depth = 0
+        self._writers_waiting = 0
+        self._local = threading.local()
+
+    def acquire_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                return  # re-entry under our own exclusive hold
+            depth = getattr(self._local, "read_depth", 0)
+            if depth == 0:
+                while self._writer is not None or self._writers_waiting:
+                    self._cond.wait()
+                self._readers += 1
+            self._local.read_depth = depth + 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            if self._writer == threading.get_ident():
+                return
+            depth = self._local.read_depth - 1
+            self._local.read_depth = depth
+            if depth == 0:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._writer_depth += 1
+                return
+            self._writers_waiting += 1
+            try:
+                while self._writer is not None or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = me
+            self._writer_depth = 1
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_depth -= 1
+            if self._writer_depth == 0:
+                self._writer = None
+                self._cond.notify_all()
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+
+class ReshardStats(StatsView):
+    """Migration-progress gauges for one store's online reshard."""
+
+    _PREFIX = "repro_reshard"
+    _SCOPE = "store"
+    _COUNTERS = ("migrations", "vertices_migrated")
+    _GAUGES = ("active", "progress", "vertices_pending")
+    _HELP = {
+        "migrations": "Generation flips completed by this store",
+        "vertices_migrated": "Vertices copied into a new generation",
+        "active": "1 while a two-generation migration is live",
+        "progress": "Fraction of the migration worklist already copied",
+        "vertices_pending": "Vertices still awaiting migration",
+    }
+
+
+class _Migration:
+    """Book-keeping for one live reshard: target layout + worklist."""
+
+    def __init__(self, router: ShardRouter, segments: list,
+                 pending: set[int]):
+        self.router = router
+        self.segments = segments
+        self.pending = pending          # not yet copied
+        self.migrated: set[int] = set()  # copied; dual-written from now on
+        self.total = max(len(pending), 1)
+
+
 class _SummedStorageStats:
     """Read-only aggregate over the per-segment ``StorageStats`` views."""
 
@@ -150,76 +334,196 @@ class ShardedGraphStore:
     Parameters
     ----------
     path:
-        Base path for the segment logs (``<path>.shard<N>``), or None
-        for in-memory segments (tests).
+        Base path for the segment logs (``<path>.shard<N>``; replicas
+        add ``.r<J>``, later generations ``<path>.g<G>.shard<N>``), or
+        None for in-memory segments (tests).
     num_shards:
         Segment count.  1 is legal and behaves like a plain store.
     cache_bytes:
         **Total** block-cache budget, split evenly across the
         shard-local caches so memory use matches a same-budget
-        unsharded store.
+        unsharded store.  Each replica copy carries its shard's budget.
     kv_factory:
         Optional ``(segment_path, shard) -> kv store`` hook.  This is
         the per-shard fault-injection passthrough: wrap any segment in
         a :class:`~repro.storage.faults.FaultInjectingKVStore` and only
-        that shard's reads degrade.
+        that shard's reads degrade.  With replicas, the factory is
+        called once per copy (primary first, then each replica path).
     compress / use_mmap:
         Forwarded to every disk-backed segment (StreamVByte blob
         records / mmap read path).  Ignored when ``kv_factory`` builds
         the stores or segments are in-memory.
+    replicas:
+        Replica copies per shard.  ``replicas=R`` wraps every segment
+        in a :class:`~repro.storage.replication.ReplicatedShard`
+        (primary + R replicas, synchronous writes, read failover).
     """
 
     def __init__(self, path: str | Path | None = None, num_shards: int = 1,
                  cache_bytes: int = 0, kv_factory=None,
-                 compress: bool = False, use_mmap: bool = False):
-        self.router = ShardRouter(num_shards)
-        per_shard_cache = cache_bytes // num_shards if num_shards else 0
-        self._segments: list[GraphStore] = []
-        for shard in range(num_shards):
-            seg_path = self.segment_path(path, shard)
-            if kv_factory is not None:
-                store = GraphStore(kv=kv_factory(seg_path, shard))
-            else:
-                store = GraphStore(seg_path, cache_bytes=per_shard_cache,
-                                   compress=compress, use_mmap=use_mmap)
-            self._segments.append(store)
+                 compress: bool = False, use_mmap: bool = False,
+                 replicas: int = 0):
+        if replicas < 0:
+            raise ValueError("replicas must be >= 0")
+        self._router = ShardRouter(num_shards)
+        self._path = path
+        self._cache_bytes = cache_bytes
+        self._kv_factory = kv_factory
+        self._compress = compress
+        self._use_mmap = use_mmap
+        self._replicas = replicas
+        self._lock = _RWLock()
+        self._generation = 0
+        self._migration: _Migration | None = None
+        self._path_next: str | Path | None = None
+        self.reshard_stats = ReshardStats()
+        self._segments = [self._build_segment(shard, num_shards,
+                                              generation=0)
+                          for shard in range(num_shards)]
+
+    def _build_segment(self, shard: int, num_shards: int,
+                       generation: int, path=None):
+        """One shard: a plain ``GraphStore`` or a replicated set."""
+        if path is None:
+            path = self._path
+        per_shard_cache = (self._cache_bytes // num_shards
+                           if num_shards else 0)
+
+        def make(seg_path):
+            if self._kv_factory is not None:
+                return GraphStore(kv=self._kv_factory(seg_path, shard))
+            return GraphStore(seg_path, cache_bytes=per_shard_cache,
+                              compress=self._compress,
+                              use_mmap=self._use_mmap)
+
+        primary = make(self.segment_path(path, shard,
+                                         generation=generation))
+        if not self._replicas:
+            return primary
+        copies = [primary]
+        copies += [make(self.segment_path(path, shard, replica=j,
+                                          generation=generation))
+                   for j in range(self._replicas)]
+        return ReplicatedShard(copies, shard=shard)
 
     @staticmethod
-    def segment_path(path: str | Path | None, shard: int) -> Path | None:
-        """On-disk segment file for ``shard`` (None stays in-memory)."""
+    def segment_path(path: str | Path | None, shard: int,
+                     replica: int | None = None,
+                     generation: int = 0) -> Path | None:
+        """On-disk segment file for ``shard`` (None stays in-memory).
+
+        Generation 0 primaries keep the historical ``<path>.shard<N>``
+        name so existing deployments reopen unchanged; replicas append
+        ``.r<J>`` and later generations prefix ``.g<G>``.
+        """
         if path is None:
             return None
-        return Path(f"{path}.shard{shard}")
+        gen = f".g{generation}" if generation else ""
+        rep = f".r{replica}" if replica is not None else ""
+        return Path(f"{path}{gen}.shard{shard}{rep}")
+
+    # -- topology ----------------------------------------------------------
+
+    @property
+    def router(self):
+        """The live routing table.
+
+        A plain :class:`ShardRouter` in steady state; during an online
+        reshard, a two-generation :class:`_MigrationRouter` over the
+        combined (old + new) segment index space.
+        """
+        migration = self._migration
+        if migration is None:
+            return self._router
+        return _MigrationRouter(self._router, migration.router,
+                                migration.migrated)
 
     @property
     def num_shards(self) -> int:
-        return self.router.num_shards
+        """Current-generation shard count (stable during migration)."""
+        return self._router.num_shards
 
     @property
-    def segments(self) -> list[GraphStore]:
-        """The per-shard stores (read-mostly; exposed for stats/tests)."""
-        return self._segments
+    def num_replicas(self) -> int:
+        return self._replicas
 
-    def segment_of(self, v: int) -> GraphStore:
-        return self._segments[self.router.shard_of(v)]
+    @property
+    def generation(self) -> int:
+        """Bumps when the segment topology changes (reshard begin/flip).
+
+        Engines watch this to refresh their per-shard bookkeeping; a
+        batch that holds :meth:`read_guard` sees one stable generation
+        end to end.
+        """
+        return self._generation
+
+    @property
+    def segments(self) -> list:
+        """The per-shard stores (read-mostly; exposed for stats/tests).
+
+        During an online reshard this is the **combined** list — old
+        generation first, then the new generation's segments — matching
+        the index space of :attr:`router`.
+        """
+        migration = self._migration
+        if migration is None:
+            return self._segments
+        return self._segments + migration.segments
+
+    @property
+    def reshard_active(self) -> bool:
+        return self._migration is not None
+
+    def read_guard(self):
+        """Shared-side context manager for multi-step read sequences.
+
+        The parallel engine holds this across a whole batch (partition
+        → fan-out → merge) so no mutation or generation flip can land
+        mid-batch.  Mutations take the exclusive side internally.
+        """
+        return self._lock.read()
+
+    def segment_of(self, v: int):
+        """The segment serving **reads** of ``v`` (placement-aware)."""
+        migration = self._migration
+        if migration is not None and int(v) in migration.migrated:
+            return migration.segments[migration.router.shard_of(v)]
+        return self._segments[self._router.shard_of(v)]
 
     @property
     def stats(self) -> _SummedStorageStats:
         """Aggregated physical I/O across every segment."""
-        return _SummedStorageStats(self._segments)
+        return _SummedStorageStats(self.segments)
 
     @property
     def degraded(self) -> bool:
         """True when any segment's backing store saw IO faults."""
-        return any(seg.degraded for seg in self._segments)
+        return any(seg.degraded for seg in self.segments)
+
+    def reset_degraded(self) -> None:
+        """Clear every segment's fault latch after recovery.
+
+        Plain segments drop their injector's ``degraded`` flag;
+        replicated segments additionally repair stale copies and
+        reinstate their home primary (the failover/reinstate path).
+        """
+        with self._lock.write():
+            for seg in self.segments:
+                seg.reset_degraded()
 
     @property
     def num_vertices(self) -> int:
-        return sum(seg.num_vertices for seg in self._segments)
+        with self._lock.read():
+            return sum(seg.num_vertices for seg in self._segments)
 
     def vertices(self):
-        for seg in self._segments:
-            yield from seg.vertices()
+        with self._lock.read():
+            # Snapshot under the guard: the old generation is complete
+            # during migration, so its segments alone enumerate the set.
+            out: list[int] = []
+            for seg in self._segments:
+                out.extend(seg.vertices())
+        return iter(out)
 
     # -- load / read -------------------------------------------------------
 
@@ -231,16 +535,18 @@ class ShardedGraphStore:
                 neighbors = sorted(graph.out_neighbors(v) | graph.in_neighbors(v))
             else:
                 neighbors = graph.sorted_neighbors(v)
-            self.segment_of(v).put_neighbors(v, neighbors)
+            self.put_neighbors(v, neighbors)
         self.flush()
 
     def get_neighbors(self, v: int,
                       receipt: ReadReceipt | None = None) -> list[int]:
-        return self.segment_of(v).get_neighbors(v, receipt=receipt)
+        with self._lock.read():
+            return self.segment_of(v).get_neighbors(v, receipt=receipt)
 
     def get_neighbors_array(self, v: int,
                             receipt: ReadReceipt | None = None) -> np.ndarray:
-        return self.segment_of(v).get_neighbors_array(v, receipt=receipt)
+        with self._lock.read():
+            return self.segment_of(v).get_neighbors_array(v, receipt=receipt)
 
     def get_neighbors_many(self, vertices,
                            receipt: ReadReceipt | None = None,
@@ -249,31 +555,36 @@ class ShardedGraphStore:
         vertices = [int(v) for v in vertices]
         if not vertices:
             return {}
-        by_shard: dict[int, list[int]] = {}
-        for v in vertices:
-            by_shard.setdefault(self.router.shard_of(v), []).append(v)
-        out: dict[int, np.ndarray] = {}
-        missing: list[int] = []
-        for shard, owned in by_shard.items():
-            try:
-                out.update(self._segments[shard].get_neighbors_many(
-                    owned, receipt=receipt))
-            except KeyError:
-                # Re-collect so the aggregate error names *all* missing
-                # vertices across segments, matching GraphStore.
-                missing.extend(v for v in owned
-                               if not self._segments[shard].has_vertex(v))
-        if missing:
-            raise KeyError(f"vertices {sorted(missing)} are not stored")
-        return {v: out[v] for v in dict.fromkeys(vertices)}
+        with self._lock.read():
+            segments = self.segments
+            by_shard: dict[int, list[int]] = {}
+            router = self.router
+            for v in vertices:
+                by_shard.setdefault(router.shard_of(v), []).append(v)
+            out: dict[int, np.ndarray] = {}
+            missing: list[int] = []
+            for shard, owned in by_shard.items():
+                try:
+                    out.update(segments[shard].get_neighbors_many(
+                        owned, receipt=receipt))
+                except KeyError:
+                    # Re-collect so the aggregate error names *all* missing
+                    # vertices across segments, matching GraphStore.
+                    missing.extend(v for v in owned
+                                   if not segments[shard].has_vertex(v))
+            if missing:
+                raise KeyError(f"vertices {sorted(missing)} are not stored")
+            return {v: out[v] for v in dict.fromkeys(vertices)}
 
     def has_vertex(self, v: int) -> bool:
-        return self.segment_of(v).has_vertex(v)
+        with self._lock.read():
+            return self.segment_of(v).has_vertex(v)
 
     def has_edge(self, u: int, v: int,
                  receipt: ReadReceipt | None = None) -> bool:
         """One disk access against the segment owning ``u``."""
-        return self.segment_of(u).has_edge(u, v, receipt=receipt)
+        with self._lock.read():
+            return self.segment_of(u).has_edge(u, v, receipt=receipt)
 
     def probe_shard(self, shard: int, us, vs,
                     receipt: ReadReceipt | None = None) -> np.ndarray:
@@ -283,9 +594,11 @@ class ShardedGraphStore:
         This is the unit of work the parallel engine hands to a pool
         thread — the segment's multi-get, cache, and stats are all
         shard-local, so concurrent probes of different shards share no
-        mutable state but the (locked) metrics registry.
+        mutable state but the (locked) metrics registry.  The engine's
+        coordinator holds :meth:`read_guard` for the whole batch, so
+        pool tasks deliberately do **not** re-acquire the lock here.
         """
-        return self._segments[shard].probe_edges(us, vs, receipt=receipt)
+        return self.segments[shard].probe_edges(us, vs, receipt=receipt)
 
     def has_edge_many(self, us, vs,
                       receipt: ReadReceipt | None = None) -> np.ndarray:
@@ -301,70 +614,240 @@ class ShardedGraphStore:
         answers = np.zeros(len(us), dtype=bool)
         if len(us) == 0:
             return answers
-        for shard, idx in enumerate(self.router.partition(us)):
-            if len(idx):
-                answers[idx] = self.probe_shard(shard, us[idx], vs[idx],
-                                                receipt=receipt)
+        with self._lock.read():
+            for shard, idx in enumerate(self.router.partition(us)):
+                if len(idx):
+                    answers[idx] = self.probe_shard(shard, us[idx], vs[idx],
+                                                    receipt=receipt)
         return answers
 
     # -- updates -----------------------------------------------------------
 
+    def _apply_write(self, v: int, op: str, *args):
+        """Apply one single-vertex write to every generation owning it.
+
+        The old generation always takes the write (it stays complete
+        until the flip); a migrated vertex is dual-written so its new
+        placement also has the latest state (read-your-writes for reads
+        already routed there).  An unmigrated vertex joins the pending
+        worklist — covering vertices created after ``begin_reshard``.
+        Callers hold the exclusive lock.
+        """
+        result = getattr(self._segments[self._router.shard_of(v)],
+                         op)(v, *args)
+        migration = self._migration
+        if migration is not None:
+            if v in migration.migrated:
+                target = migration.segments[migration.router.shard_of(v)]
+                getattr(target, op)(v, *args)
+            elif op == "remove_vertex_record":
+                migration.pending.discard(v)
+            else:
+                migration.pending.add(v)
+        return result
+
     def put_neighbors(self, v: int, neighbors: list[int]) -> None:
-        self.segment_of(v).put_neighbors(v, neighbors)
+        with self._lock.write():
+            self._apply_write(int(v), "put_neighbors", neighbors)
 
     def insert_edge(self, u: int, v: int) -> bool:
         """Add ``(u, v)``: one half-edge per owning segment."""
         if u == v:
             raise ValueError("self loops are not allowed")
-        changed = self.segment_of(u).insert_half_edge(u, v)
-        changed = self.segment_of(v).insert_half_edge(v, u) or changed
-        return changed
+        with self._lock.write():
+            changed = self._apply_write(int(u), "insert_half_edge", v)
+            changed = self._apply_write(int(v), "insert_half_edge",
+                                        u) or changed
+            return changed
 
     def delete_edge(self, u: int, v: int) -> bool:
-        changed = self.segment_of(u).remove_half_edge(u, v)
-        changed = self.segment_of(v).remove_half_edge(v, u) or changed
-        return changed
+        with self._lock.write():
+            changed = self._apply_write(int(u), "remove_half_edge", v)
+            changed = self._apply_write(int(v), "remove_half_edge",
+                                        u) or changed
+            return changed
 
     def delete_vertex(self, v: int) -> bool:
-        """Remove ``v`` everywhere: neighbors may live on any segment."""
-        owner = self.segment_of(v)
-        if not owner.has_vertex(v):
-            return False
-        for u in owner.get_neighbors(v):
-            self.segment_of(u).remove_half_edge(u, v)
-        return owner.remove_vertex_record(v)
+        """Remove ``v`` everywhere: neighbors may live on any segment.
+
+        Runs under the exclusive side of the mutation guard, so an
+        in-flight batch never observes the vertex half-deleted
+        (scrubbed from some neighbors' lists but not others).
+        """
+        with self._lock.write():
+            v = int(v)
+            owner = self.segment_of(v)
+            if not owner.has_vertex(v):
+                return False
+            for u in owner.get_neighbors(v):
+                self._apply_write(int(u), "remove_half_edge", v)
+            return bool(self._apply_write(v, "remove_vertex_record"))
 
     # -- resharding --------------------------------------------------------
 
     def reshard(self, num_shards: int, path: str | Path | None = None,
-                cache_bytes: int = 0, kv_factory=None,
-                compress: bool = False,
-                use_mmap: bool = False) -> "ShardedGraphStore":
-        """Migrate every adjacency record into an S′-shard store.
+                cache_bytes=_INHERIT, kv_factory=_INHERIT,
+                compress=_INHERIT, use_mmap=_INHERIT,
+                replicas=_INHERIT) -> "ShardedGraphStore":
+        """Offline reshard: migrate every record into a new S′-shard store.
 
         Rows move between segments but are never rewritten: resharding
         S → S′ preserves every (vertex → adjacency) pair exactly, and
         the in-memory codes are untouched because the router only
         decides *placement*, never encoding.
+
+        Storage configuration — ``compress``, ``use_mmap``,
+        ``cache_bytes``, ``kv_factory``, ``replicas`` — is **inherited
+        from this store** unless explicitly overridden, so resharding a
+        compressed+mmap deployment yields a compressed+mmap target (it
+        used to silently drop every knob).  ``path`` stays explicit:
+        defaulting it to the source path would overwrite the source's
+        own segment files.
+
+        The final flush is durable (``sync=True``): the target's rows
+        are on disk before the caller can retire the source.  For
+        resharding *in place* without downtime, see
+        :meth:`begin_reshard` / :meth:`migrate_step` /
+        :meth:`finish_reshard`.
         """
-        target = ShardedGraphStore(path, num_shards=num_shards,
-                                   cache_bytes=cache_bytes,
-                                   kv_factory=kv_factory,
-                                   compress=compress, use_mmap=use_mmap)
-        for seg in self._segments:
-            for v in seg.vertices():
-                target.put_neighbors(v, seg.get_neighbors(v))
-        target.flush()
+        target = ShardedGraphStore(
+            path, num_shards=num_shards,
+            cache_bytes=(self._cache_bytes if cache_bytes is _INHERIT
+                         else cache_bytes),
+            kv_factory=(self._kv_factory if kv_factory is _INHERIT
+                        else kv_factory),
+            compress=(self._compress if compress is _INHERIT else compress),
+            use_mmap=(self._use_mmap if use_mmap is _INHERIT else use_mmap),
+            replicas=(self._replicas if replicas is _INHERIT else replicas),
+        )
+        with self._lock.read():
+            for seg in self._segments:
+                for v in list(seg.vertices()):
+                    target.put_neighbors(v, seg.get_neighbors(v))
+        target.flush(sync=True)
         return target
+
+    def begin_reshard(self, num_shards: int,
+                      path: str | Path | None = None) -> None:
+        """Open a new generation of segments and start a live migration.
+
+        Reads and writes keep flowing: the old generation remains
+        write-complete, and a background (or interleaved) driver calls
+        :meth:`migrate_step` until :meth:`finish_reshard` flips.  The
+        new generation inherits this store's configuration.  In-place
+        (``path=None``) the new segments live under a ``.g<G>`` prefix
+        of the store's own base path; an explicit ``path`` relocates
+        them under plain gen-0 names, so the flipped store can later be
+        reopened as ``ShardedGraphStore(path, num_shards)`` directly
+        (in-memory stores stay in-memory either way).
+        """
+        with self._lock.write():
+            if self._migration is not None:
+                raise RuntimeError("a reshard is already in progress")
+            generation = self._generation + 1
+            # Explicit relocation gets gen-0 file names at the new base;
+            # in-place migration needs the .g<G> prefix to avoid
+            # colliding with the live generation's files.
+            name_generation = 0 if path is not None else generation
+            self._path_next = path
+            router = ShardRouter(num_shards)
+            segments = [self._build_segment(shard, num_shards,
+                                            generation=name_generation,
+                                            path=path)
+                        for shard in range(num_shards)]
+            pending: set[int] = set()
+            for seg in self._segments:
+                pending.update(int(v) for v in seg.vertices())
+            self._migration = _Migration(router, segments, pending)
+            self._generation = generation
+            self.reshard_stats.set_gauge("active", 1)
+            self.reshard_stats.set_gauge("vertices_pending", len(pending))
+            self.reshard_stats.set_gauge("progress", 0.0)
+
+    def migrate_step(self, max_vertices: int = 256) -> int:
+        """Copy up to ``max_vertices`` pending vertices into the new
+        generation; returns how many moved (0 = worklist drained).
+
+        Each step holds the exclusive lock only for its chunk, so
+        queries interleave between steps — the "online" in online
+        resharding.  A copied vertex immediately serves reads from its
+        new placement and is dual-written from then on.
+        """
+        with self._lock.write():
+            migration = self._migration
+            if migration is None:
+                raise RuntimeError("no reshard in progress")
+            moved = 0
+            while migration.pending and moved < max_vertices:
+                v = migration.pending.pop()
+                seg = self._segments[self._router.shard_of(v)]
+                if seg.has_vertex(v):
+                    target = migration.segments[migration.router.shard_of(v)]
+                    target.put_neighbors(v, seg.get_neighbors(v))
+                    migration.migrated.add(v)
+                moved += 1
+            self.reshard_stats.inc("vertices_migrated", moved)
+            done = len(migration.migrated)
+            self.reshard_stats.set_gauge("vertices_pending",
+                                         len(migration.pending))
+            self.reshard_stats.set_gauge(
+                "progress", min(1.0, done / migration.total))
+            return moved
+
+    def finish_reshard(self) -> None:
+        """Drain the worklist, flush the new generation durably, and
+        atomically flip the routing table to it.
+
+        The flip happens under the exclusive lock **after** a
+        ``flush(sync=True)`` of every new segment — the generation
+        change can never land before the migrated rows are durable.
+        The old generation's segments are closed once no reader can
+        reach them.
+        """
+        while self.migrate_step():
+            pass
+        with self._lock.write():
+            migration = self._migration
+            if migration is None:
+                raise RuntimeError("no reshard in progress")
+            # Writers may have enqueued fresh vertices since the drain.
+            while migration.pending:
+                v = migration.pending.pop()
+                seg = self._segments[self._router.shard_of(v)]
+                if seg.has_vertex(v):
+                    target = migration.segments[migration.router.shard_of(v)]
+                    target.put_neighbors(v, seg.get_neighbors(v))
+                    migration.migrated.add(v)
+            for seg in migration.segments:
+                seg.flush(sync=True)
+            retired = self._segments
+            self._segments = migration.segments
+            self._router = migration.router
+            self._migration = None
+            self._generation += 1
+            if self._path_next is not None:
+                self._path = self._path_next
+            self._path_next = None
+            self.reshard_stats.inc("migrations")
+            self.reshard_stats.set_gauge("active", 0)
+            self.reshard_stats.set_gauge("vertices_pending", 0)
+            self.reshard_stats.set_gauge("progress", 1.0)
+            for seg in retired:
+                seg.close()
 
     # -- lifecycle ---------------------------------------------------------
 
     def flush(self, sync: bool = False) -> None:
-        for seg in self._segments:
-            seg._kv.flush(sync)
+        """Flush every segment through the public ``GraphStore.flush``.
+
+        ``sync=True`` makes the flush durable (fsync) — the mode the
+        reshard flip uses before retiring a generation.
+        """
+        for seg in self.segments:
+            seg.flush(sync)
 
     def close(self) -> None:
-        for seg in self._segments:
+        for seg in self.segments:
             seg.close()
 
     def __enter__(self) -> "ShardedGraphStore":
