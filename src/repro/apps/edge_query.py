@@ -35,6 +35,7 @@ import numpy as np
 
 from ..core.base import NonedgeFilter, endpoint_arrays, nonedge_batch_mask
 from ..core.batch import shard_slices, warm_batch_snapshot
+from ..devtools.witness import wrap_lock
 from ..obs import QueryStats, ReadReceipt, default_tracer
 from ..storage import GraphStore, ShardedGraphStore
 from ..storage.kvstore import DiskKVStore
@@ -268,9 +269,10 @@ class ParallelEdgeQueryEngine(EdgeQueryEngine):
                 max_workers=self.workers,
                 thread_name_prefix=f"{self.stats.scope}-shard",
             )
-        self._book_lock = threading.Lock()
-        self._store_generation = getattr(store, "generation", 0)
-        self.shard_stats = self._build_shard_stats()
+        self._book_lock = wrap_lock(threading.Lock(),
+                                    "ParallelEdgeQueryEngine._book_lock")
+        self._store_generation = getattr(store, "generation", 0)  # guarded-by: self._book_lock
+        self.shard_stats = self._build_shard_stats()  # guarded-by: self._book_lock
 
     def _build_shard_stats(self) -> list[QueryStats]:
         return [
@@ -465,11 +467,15 @@ class ParallelEdgeQueryEngine(EdgeQueryEngine):
                      self._pool.submit(self._query_slice, shard, su, sv))
                     for shard, idx, su, sv in slices
                 ]
+                # Join every future *before* taking the booking lock:
+                # waiting on pool tasks under self._book_lock would
+                # stall the scalar path behind the slowest shard probe.
+                results = [(shard, idx, future.result())
+                           for shard, idx, future in futures]
                 with self._book_lock:
                     self.stats.inc("total", n)
-                    for shard, idx, future in futures:
-                        slice_answers, filtered, executed, receipt = (
-                            future.result())
+                    for shard, idx, result in results:
+                        slice_answers, filtered, executed, receipt = result
                         answers[idx] = slice_answers
                         positives = int(slice_answers.sum())
                         shard_view = self.shard_stats[shard]
@@ -500,11 +506,14 @@ class ParallelEdgeQueryEngine(EdgeQueryEngine):
                                metas["filter"], metas[f"shard{shard}"]))
             for shard, idx, su, sv in slices
         ]
+        # As in the thread path: join outside the booking lock so the
+        # scalar path is never serialized behind a worker process.
+        results = [(shard, idx, future.result())
+                   for shard, idx, future in futures]
         with self._book_lock:
             self.stats.inc("total", n)
-            for shard, idx, future in futures:
-                slice_answers, filtered, executed, n_records, n_bytes = (
-                    future.result())
+            for shard, idx, result in results:
+                slice_answers, filtered, executed, n_records, n_bytes = result
                 answers[idx] = slice_answers
                 positives = int(slice_answers.sum())
                 shard_view = self.shard_stats[shard]

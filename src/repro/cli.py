@@ -10,6 +10,9 @@ Commands cover the basic operational loop of a VEND deployment:
 - ``score`` — evaluate the VEND score on a sampled workload;
 - ``analyze`` — index statistics and per-pair-class score breakdown;
 - ``lint`` — the VEND invariant linter (rules R001–R006, DESIGN.md §9);
+  ``--concurrency`` adds the lock-discipline/lifetime rules
+  (R007–R012, DESIGN.md §14), ``--format json|github`` emits
+  machine-readable output or workflow annotations;
 - ``audit`` — seeded differential soundness sweep over registered
   solutions (zero false no-edge verdicts, scalar/batch agreement,
   post-maintenance validity); ``--chaos`` adds the kill-a-shard
@@ -120,6 +123,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="files or directories to lint (default: src)")
     lint.add_argument("--rules", default=None,
                       help="comma-separated subset, e.g. R001,R003")
+    lint.add_argument("--concurrency", action="store_true",
+                      help="also run the concurrency-contract rules "
+                           "(R007-R012, DESIGN.md §14)")
+    lint.add_argument("--format", default="text",
+                      choices=("text", "json", "github"),
+                      help="text (default), json (machine-readable), or "
+                           "github (::error workflow annotations)")
 
     audit = commands.add_parser(
         "audit", help="seeded soundness sweep over registered solutions"
@@ -322,12 +332,29 @@ def _cmd_analyze(args) -> int:
 
 
 def _cmd_lint(args) -> int:
+    import json
+
     from .devtools import lint_paths
 
     rules = None
     if args.rules:
         rules = {r.strip() for r in args.rules.split(",") if r.strip()}
-    findings = lint_paths(args.paths, rules=rules)
+    findings = lint_paths(args.paths, rules=rules,
+                          concurrency=args.concurrency)
+    if args.format == "json":
+        print(json.dumps([{"path": f.path, "line": f.line, "col": f.col,
+                           "rule": f.rule, "message": f.message}
+                          for f in findings], indent=2))
+        return 1 if findings else 0
+    if args.format == "github":
+        for f in findings:
+            # GitHub's annotation grammar: %, CR, LF must be escaped in
+            # the message body.
+            message = (f.message.replace("%", "%25")
+                       .replace("\r", "%0D").replace("\n", "%0A"))
+            print(f"::error file={f.path},line={f.line},"
+                  f"col={f.col + 1},title={f.rule}::{message}")
+        return 1 if findings else 0
     for finding in findings:
         print(finding.format())
     if findings:

@@ -1,31 +1,52 @@
-"""Developer tooling: the VEND invariant linter and soundness auditor.
+"""Developer tooling: the VEND linters, soundness auditor, and witness.
 
-``repro lint`` runs :mod:`.linter` (rules R001–R005) over source trees;
+``repro lint`` runs :mod:`.linter` (rules R001–R006) and, with
+``--concurrency``, :mod:`.concurrency` (R007–R012) over source trees;
 ``repro audit`` runs :mod:`.audit`'s differential soundness sweep over
-every registered solution.  Both are wired into CI — see DESIGN.md §9.
+every registered solution; :mod:`.witness` is the opt-in runtime
+lock-order recorder the chaos/parallel suites compare against the
+static order.  All three are wired into CI — see DESIGN.md §9/§14.
+
+Exports resolve lazily (PEP 562): the storage layer imports
+:mod:`.witness` at module load, and an eager ``from .audit import …``
+here would close the cycle ``storage → devtools → audit → apps →
+storage``.
 """
 
-from .audit import (
-    AuditReport,
-    AuditViolation,
-    ChaosAuditReport,
-    ParallelAuditReport,
-    SoundnessAuditor,
-    audit_chaos,
-    audit_parallel_engine,
-)
-from .linter import RULES, Finding, Linter, lint_paths
+from __future__ import annotations
 
-__all__ = [
-    "Finding",
-    "Linter",
-    "lint_paths",
-    "RULES",
-    "AuditReport",
-    "AuditViolation",
-    "SoundnessAuditor",
-    "ParallelAuditReport",
-    "audit_parallel_engine",
-    "ChaosAuditReport",
-    "audit_chaos",
-]
+_EXPORTS = {
+    "Finding": ".linter",
+    "Linter": ".linter",
+    "lint_paths": ".linter",
+    "RULES": ".linter",
+    "CONCURRENCY_RULES": ".linter",
+    "ConcurrencyAnalyzer": ".concurrency",
+    "find_cycle": ".concurrency",
+    "static_lock_edges": ".concurrency",
+    "LockOrderWitness": ".witness",
+    "get_witness": ".witness",
+    "wrap_lock": ".witness",
+    "AuditReport": ".audit",
+    "AuditViolation": ".audit",
+    "SoundnessAuditor": ".audit",
+    "ParallelAuditReport": ".audit",
+    "audit_parallel_engine": ".audit",
+    "ChaosAuditReport": ".audit",
+    "audit_chaos": ".audit",
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    return getattr(import_module(module_name, __name__), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

@@ -37,7 +37,15 @@ line (the statement's *first* line for multi-line statements)::
 
     blob = np.asarray(raw)  # lint: disable=R001 (dtype decided by caller)
 
-The parenthesized reason is required by convention, not by the parser.
+The parenthesized reason is required by the parser: a pragma without
+one is itself flagged as ``R000-style``, and that finding cannot be
+waived.
+
+A second, opt-in ruleset (R007–R012, the concurrency contracts: lock
+ordering, guarded state, raw acquires, mmap-view lifetimes, identity
+tokens, blocking under locks) is implemented in
+:mod:`repro.devtools.concurrency` and enabled with
+``lint_paths(..., concurrency=True)`` / ``repro lint --concurrency``.
 """
 
 from __future__ import annotations
@@ -47,7 +55,7 @@ import re
 from dataclasses import dataclass, field
 from pathlib import Path
 
-__all__ = ["Finding", "Linter", "lint_paths", "RULES"]
+__all__ = ["Finding", "Linter", "lint_paths", "RULES", "CONCURRENCY_RULES"]
 
 RULES = {
     "R001": "dtype-safety",
@@ -56,6 +64,18 @@ RULES = {
     "R004": "seeded-randomness",
     "R005": "unsafe-exception",
     "R006": "counter-registry",
+}
+
+#: Opt-in concurrency-contract ruleset, implemented in
+#: :mod:`repro.devtools.concurrency` (imported lazily to keep the
+#: classic pass dependency-free).
+CONCURRENCY_RULES = {
+    "R007": "lock-order",
+    "R008": "guarded-state",
+    "R009": "raw-acquire",
+    "R010": "mmap-lifetime",
+    "R011": "identity-token",
+    "R012": "blocking-under-lock",
 }
 
 #: Path components whose files count as dtype-sensitive hot paths (R001).
@@ -78,6 +98,12 @@ STATS_HOLDERS = frozenset({
 })
 
 _PRAGMA = re.compile(r"#\s*lint:\s*disable=([A-Z0-9,\s]+?)(?:\s*\(|$)")
+
+#: A pragma counts as *reasoned* only with a non-empty parenthesized
+#: explanation after the rule list (``# lint: disable=R001 (why)``).
+_PRAGMA_REASON = re.compile(
+    r"#\s*lint:\s*disable=[A-Z0-9,\s]+?\s*\(\s*[^)\s][^)]*\)"
+)
 
 #: Module-level ``random`` functions that mutate the unseeded global RNG.
 _GLOBAL_RANDOM_FNS = frozenset({
@@ -143,6 +169,11 @@ class _FileContext:
     path: str
     tree: ast.Module
     pragmas: dict[int, set[str]]
+    #: Lines (1-based numbers) carrying a pragma with no written reason.
+    bare_pragmas: list[int] = field(default_factory=list)
+    #: Raw source lines; the concurrency pass reads ``# guarded-by:``
+    #: annotations straight from them.
+    lines: list[str] = field(default_factory=list)
     module_aliases: dict[str, str] = field(default_factory=dict)
     from_imports: dict[str, str] = field(default_factory=dict)
     hot: bool = False
@@ -169,14 +200,18 @@ def _dotted(node: ast.expr) -> str | None:
     return ".".join(reversed(parts))
 
 
-def _parse_pragmas(source: str) -> dict[int, set[str]]:
+def _parse_pragmas(source: str) -> tuple[dict[int, set[str]], list[int]]:
+    """Pragma map plus the lines whose pragma lacks a written reason."""
     pragmas: dict[int, set[str]] = {}
+    bare: list[int] = []
     for lineno, line in enumerate(source.splitlines(), start=1):
         match = _PRAGMA.search(line)
         if match:
             rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
             pragmas[lineno] = rules
-    return pragmas
+            if not _PRAGMA_REASON.search(line):
+                bare.append(lineno)
+    return pragmas, bare
 
 
 class Linter:
@@ -191,8 +226,14 @@ class Linter:
     """
 
     def __init__(self, rules: set[str] | None = None,
-                 hot_parts: tuple[str, ...] = HOT_PARTS):
-        self.rules = set(rules) if rules is not None else set(RULES)
+                 hot_parts: tuple[str, ...] = HOT_PARTS,
+                 concurrency: bool = False):
+        if rules is not None:
+            self.rules = set(rules)
+        else:
+            self.rules = set(RULES)
+            if concurrency:
+                self.rules |= set(CONCURRENCY_RULES)
         self.hot_parts = hot_parts
         self._classes: dict[str, _ClassInfo] = {}
 
@@ -211,13 +252,30 @@ class Linter:
                 findings.append(Finding(str(path), exc.lineno or 1, 0, "R000",
                                         f"syntax error: {exc.msg}"))
                 continue
-            ctx = _FileContext(str(path), tree, _parse_pragmas(source))
+            pragmas, bare = _parse_pragmas(source)
+            ctx = _FileContext(str(path), tree, pragmas, bare,
+                               source.splitlines())
             ctx.hot = any(part in Path(path).parts for part in self.hot_parts)
             self._scan_imports(ctx)
             self._index_classes(ctx)
             contexts.append(ctx)
+            for lineno in bare:
+                findings.append(Finding(
+                    str(path), lineno, 0, "R000-style",
+                    "pragma without a reason; write "
+                    "`# lint: disable=R0xx (why this is safe)`",
+                ))
         for ctx in contexts:
             findings.extend(self._lint_file(ctx))
+        conc_rules = self.rules & set(CONCURRENCY_RULES)
+        if conc_rules:
+            from .concurrency import ConcurrencyAnalyzer
+            raw = ConcurrencyAnalyzer(contexts, rules=conc_rules).run()
+            by_path = {ctx.path: ctx for ctx in contexts}
+            findings.extend(
+                f for f in raw
+                if f.rule not in by_path[f.path].pragmas.get(f.line, ())
+            )
         return sorted(findings)
 
     @staticmethod
@@ -660,6 +718,13 @@ class Linter:
 
 
 def lint_paths(paths, rules: set[str] | None = None,
-               hot_parts: tuple[str, ...] = HOT_PARTS) -> list[Finding]:
-    """Lint files/directories and return sorted findings."""
-    return Linter(rules=rules, hot_parts=hot_parts).lint_paths(paths)
+               hot_parts: tuple[str, ...] = HOT_PARTS,
+               concurrency: bool = False) -> list[Finding]:
+    """Lint files/directories and return sorted findings.
+
+    ``concurrency=True`` adds the R007–R012 concurrency-contract pass
+    on top of the classic ruleset (ignored when ``rules`` is given
+    explicitly — name the concurrency rules there instead).
+    """
+    return Linter(rules=rules, hot_parts=hot_parts,
+                  concurrency=concurrency).lint_paths(paths)

@@ -16,6 +16,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 
+from ..devtools.witness import wrap_lock
 from ..obs import CacheStats
 
 __all__ = ["LRUCache"]
@@ -48,10 +49,10 @@ class LRUCache:
         if capacity_bytes < 0:
             raise ValueError("capacity must be non-negative")
         self.capacity_bytes = capacity_bytes
-        self._data: OrderedDict[object, object] = OrderedDict()
-        self._size = 0
+        self._lock = wrap_lock(threading.RLock(), "LRUCache._lock")
+        self._data: OrderedDict[object, object] = OrderedDict()  # guarded-by: self._lock
+        self._size = 0  # guarded-by: self._lock
         self._stats = CacheStats()
-        self._lock = threading.RLock()
 
     def __len__(self) -> int:
         return len(self._data)

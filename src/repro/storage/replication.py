@@ -241,6 +241,15 @@ class ReplicatedShard:
         home primary is reinstated as the active copy when healthy.
         A copy whose backing store is still failing stays marked and
         is skipped — call again once the fault clears.
+
+        Locking contract (DESIGN.md §14): the shard itself has no
+        lock — callers must exclude writers for the duration.  The
+        sharded store does so by fanning out ``reset_degraded()``
+        under the exclusive side of its reshard lock, accepting the
+        resync's fsync latency there on purpose: a copy resynced
+        while writes were admitted would be marked clean with writes
+        it never saw, and a later failover would serve unsound
+        answers.
         """
         source = self._copies[self._active]
         repaired = 0

@@ -59,6 +59,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..devtools.witness import get_witness
 from ..graph import DiGraph, Graph
 from ..obs import ReadReceipt, StatsView
 from .graphstore import GraphStore
@@ -187,13 +188,18 @@ class _RWLock:
     touch the lock at all; the coordinator holds it for them.
     """
 
-    def __init__(self):
+    def __init__(self, name: str | None = None):
         self._cond = threading.Condition()
-        self._readers = 0
-        self._writer: int | None = None
-        self._writer_depth = 0
-        self._writers_waiting = 0
+        self._readers = 0  # guarded-by: self._cond
+        self._writer: int | None = None  # guarded-by: self._cond
+        self._writer_depth = 0  # guarded-by: self._cond
+        self._writers_waiting = 0  # guarded-by: self._cond
         self._local = threading.local()
+        self._name = name
+        witness = get_witness()
+        # Resolved once at construction: disabled runs never pay for
+        # the hook, and tests that flip the witness recreate stores.
+        self._witness = witness if (name and witness.enabled) else None
 
     def acquire_read(self) -> None:
         me = threading.get_ident()
@@ -205,6 +211,8 @@ class _RWLock:
                 while self._writer is not None or self._writers_waiting:
                     self._cond.wait()
                 self._readers += 1
+                if self._witness is not None:
+                    self._witness.notify_acquire(self._name, self)
             self._local.read_depth = depth + 1
 
     def release_read(self) -> None:
@@ -214,6 +222,8 @@ class _RWLock:
             depth = self._local.read_depth - 1
             self._local.read_depth = depth
             if depth == 0:
+                if self._witness is not None:
+                    self._witness.notify_release(self._name, self)
                 self._readers -= 1
                 if self._readers == 0:
                     self._cond.notify_all()
@@ -232,11 +242,15 @@ class _RWLock:
                 self._writers_waiting -= 1
             self._writer = me
             self._writer_depth = 1
+            if self._witness is not None:
+                self._witness.notify_acquire(self._name, self)
 
     def release_write(self) -> None:
         with self._cond:
             self._writer_depth -= 1
             if self._writer_depth == 0:
+                if self._witness is not None:
+                    self._witness.notify_release(self._name, self)
                 self._writer = None
                 self._cond.notify_all()
 
@@ -365,24 +379,25 @@ class ShardedGraphStore:
                  replicas: int = 0):
         if replicas < 0:
             raise ValueError("replicas must be >= 0")
-        self._router = ShardRouter(num_shards)
-        self._path = path
+        self._lock = _RWLock(name="ShardedGraphStore._lock")
+        self._router = ShardRouter(num_shards)  # guarded-by: self._lock
+        self._path = path  # guarded-by: self._lock
         self._cache_bytes = cache_bytes
         self._kv_factory = kv_factory
         self._compress = compress
         self._use_mmap = use_mmap
         self._replicas = replicas
-        self._lock = _RWLock()
-        self._generation = 0
-        self._migration: _Migration | None = None
-        self._path_next: str | Path | None = None
+        self._generation = 0  # guarded-by: self._lock
+        self._migration: _Migration | None = None  # guarded-by: self._lock
+        self._path_next: str | Path | None = None  # guarded-by: self._lock
         self.reshard_stats = ReshardStats()
-        self._segments = [self._build_segment(shard, num_shards,
+        self._segments = [self._build_segment(shard, num_shards,  # guarded-by: self._lock
                                               generation=0)
                           for shard in range(num_shards)]
 
     def _build_segment(self, shard: int, num_shards: int,
-                       generation: int, path=None):
+                       generation: int,
+                       path=None) -> "GraphStore | ReplicatedShard":
         """One shard: a plain ``GraphStore`` or a replicated set."""
         if path is None:
             path = self._path
@@ -483,7 +498,7 @@ class ShardedGraphStore:
         """
         return self._lock.read()
 
-    def segment_of(self, v: int):
+    def segment_of(self, v: int) -> "GraphStore | ReplicatedShard":
         """The segment serving **reads** of ``v`` (placement-aware)."""
         migration = self._migration
         if migration is not None and int(v) in migration.migrated:
@@ -507,6 +522,12 @@ class ShardedGraphStore:
         replicated segments additionally repair stale copies and
         reinstate their home primary (the failover/reinstate path).
         """
+        # Repair runs *under* the exclusive lock on purpose: resyncing
+        # a stale replica while writers were admitted would let a copy
+        # be marked clean with writes it never saw, and a later
+        # failover would then serve unsound (false-"absent") answers.
+        # Recovery is rare; correctness of one-sided errors is not
+        # negotiable.  See DESIGN.md §14.
         with self._lock.write():
             for seg in self.segments:
                 seg.reset_degraded()
@@ -803,9 +824,25 @@ class ShardedGraphStore:
         change can never land before the migrated rows are durable.
         The old generation's segments are closed once no reader can
         reach them.
+
+        The bulk of the fsync work happens *before* the flip span: each
+        new segment is pre-flushed durably in its own short exclusive
+        window (readers interleave between segments), so the final
+        exclusive span only re-syncs whatever straggler writes landed
+        after its segment's pre-flush.
         """
         while self.migrate_step():
             pass
+        # Durable pre-flush, one segment per exclusive window.  The
+        # lock is dropped between segments so read latency stays
+        # bounded by a single fsync, not the whole generation's.
+        pre = self._migration
+        if pre is not None:
+            for seg in list(pre.segments):
+                with self._lock.write():
+                    if self._migration is not pre:
+                        break  # a concurrent finisher already flipped
+                    seg.flush(sync=True)  # lint: disable=R012 (pre-flush holds the lock for one segment's fsync only; the span exists to keep the segment consistent while it syncs)
         with self._lock.write():
             migration = self._migration
             if migration is None:
@@ -819,7 +856,9 @@ class ShardedGraphStore:
                     target.put_neighbors(v, seg.get_neighbors(v))
                     migration.migrated.add(v)
             for seg in migration.segments:
-                seg.flush(sync=True)
+                # Only straggler writes since the pre-flush are still
+                # buffered, so this fsync is near-empty.
+                seg.flush(sync=True)  # lint: disable=R012 (flip must not land before the last stragglers are durable; the pre-flush above already drained the heavy fsync outside this span)
             retired = self._segments
             self._segments = migration.segments
             self._router = migration.router

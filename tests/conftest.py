@@ -3,10 +3,34 @@
 from __future__ import annotations
 
 import itertools
+from pathlib import Path
 
 import pytest
 
 from repro.graph import Graph, erdos_renyi_graph, powerlaw_graph
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _lock_order_witness_gate():
+    """With ``REPRO_LOCK_WITNESS=1``, every lock order the suite
+    actually exercises must stay consistent with the static R007
+    graph — the dynamic half of the concurrency contract (CI runs the
+    parallel/reshard suites under this gate; see DESIGN.md §14)."""
+    from repro.devtools.witness import get_witness
+
+    witness = get_witness()
+    if not witness.enabled:
+        yield
+        return
+    witness.reset()
+    yield
+    from repro.devtools.concurrency import static_lock_edges
+
+    src = Path(__file__).parent.parent / "src" / "repro"
+    cycle = witness.check(static_lock_edges([src]))
+    assert cycle is None, (
+        f"runtime lock order contradicts the static graph: "
+        f"{' -> '.join(cycle)}")
 
 
 def paper_example_graph() -> Graph:

@@ -1,0 +1,30 @@
+"""R007 bad: two classes acquire each other's locks in opposite orders."""
+import threading
+
+
+class Ledger:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.journal = Journal()
+
+    def post(self):
+        with self._lock:
+            self.journal.append_entry()
+
+    def balance(self):
+        with self._lock:
+            return 0
+
+
+class Journal:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.ledger: Ledger = None
+
+    def append_entry(self):
+        with self._lock:
+            pass
+
+    def reconcile(self):
+        with self._lock:
+            self.ledger.balance()

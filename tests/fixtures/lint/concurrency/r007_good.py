@@ -1,0 +1,33 @@
+"""R007 good: both classes agree Ledger._lock outranks Journal._lock."""
+import threading
+
+
+class Ledger:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.journal = Journal()
+
+    def post(self):
+        with self._lock:
+            self.journal.append_entry()
+
+    def balance(self):
+        with self._lock:
+            return 0
+
+
+class Journal:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.ledger: Ledger = None
+
+    def append_entry(self):
+        with self._lock:
+            pass
+
+    def reconcile(self):
+        # Take the senior lock first, then our own: same global order
+        # as Ledger.post, so no cycle.
+        with self.ledger._lock:
+            with self._lock:
+                pass

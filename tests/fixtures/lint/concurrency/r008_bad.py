@@ -1,0 +1,15 @@
+"""R008 bad: a guarded attribute is mutated outside its lock."""
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0  # guarded-by: self._lock
+
+    def bump(self):
+        with self._lock:
+            self._count += 1
+
+    def sloppy_bump(self):
+        self._count += 1

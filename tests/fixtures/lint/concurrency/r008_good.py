@@ -1,0 +1,19 @@
+"""R008 good: every mutation of the guarded attribute holds the lock."""
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0  # guarded-by: self._lock
+
+    def bump(self):
+        with self._lock:
+            self._count += 1
+
+    def reset(self):
+        self._lock.acquire()
+        try:
+            self._count = 0
+        finally:
+            self._lock.release()

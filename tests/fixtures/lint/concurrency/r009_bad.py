@@ -1,0 +1,13 @@
+"""R009 bad: raw acquire with the release outside any try/finally."""
+import threading
+
+
+class Door:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.open_count = 0
+
+    def enter(self):
+        self._lock.acquire()
+        self.open_count += 1
+        self._lock.release()

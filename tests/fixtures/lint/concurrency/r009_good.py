@@ -1,0 +1,15 @@
+"""R009 good: raw acquire immediately followed by try/finally release."""
+import threading
+
+
+class Door:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.open_count = 0
+
+    def enter(self):
+        self._lock.acquire()
+        try:
+            self.open_count += 1
+        finally:
+            self._lock.release()

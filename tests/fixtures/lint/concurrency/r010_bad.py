@@ -1,0 +1,11 @@
+"""R010 bad: a frombuffer view over an mmap escapes the function that
+mapped it — the caller holds a pointer into a buffer it cannot unmap."""
+import mmap
+
+import numpy as np
+
+
+def codes(path):
+    with open(path, "rb") as fh:
+        mm = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+    return np.frombuffer(mm, dtype=np.uint8)

@@ -1,0 +1,10 @@
+"""R010 good: the escaping array is a copy, decoupled from the map."""
+import mmap
+
+import numpy as np
+
+
+def codes(path):
+    with open(path, "rb") as fh:
+        mm = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+    return np.frombuffer(mm, dtype=np.uint8).copy()

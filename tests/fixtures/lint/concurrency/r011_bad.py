@@ -1,0 +1,6 @@
+"""R011 bad: id() compared without keeping the objects alive — a freed
+object's address can be reused, aliasing two distinct values."""
+
+
+def same_object(a, b):
+    return id(a) == id(b)

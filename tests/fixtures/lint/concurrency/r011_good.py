@@ -1,0 +1,5 @@
+"""R011 good: identity tested with ``is``, no address escapes."""
+
+
+def same_object(a, b):
+    return a is b

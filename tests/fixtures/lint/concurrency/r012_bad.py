@@ -1,0 +1,15 @@
+"""R012 bad: fsync (milliseconds of latency) under an exclusive lock
+serializes every other thread behind the disk."""
+import os
+import threading
+
+
+class Journal:
+    def __init__(self, fh):
+        self._lock = threading.Lock()
+        self._fh = fh
+
+    def commit(self, data):
+        with self._lock:
+            self._fh.write(data)
+            os.fsync(self._fh.fileno())

@@ -1,0 +1,14 @@
+"""R012 good: the write lands under the lock, the fsync after it."""
+import os
+import threading
+
+
+class Journal:
+    def __init__(self, fh):
+        self._lock = threading.Lock()
+        self._fh = fh
+
+    def commit(self, data):
+        with self._lock:
+            self._fh.write(data)
+        os.fsync(self._fh.fileno())

@@ -1,0 +1,5 @@
+"""R000-style fixture: a waiver pragma with no reason is itself flagged."""
+
+
+def same_object(a, b):
+    return id(a) == id(b)  # lint: disable=R011

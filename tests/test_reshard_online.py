@@ -133,6 +133,40 @@ class TestOnlineReshard:
         assert (tmp_path / "g.db.g1.shard0").exists()
         store.close()
 
+    def test_finish_reshard_preflushes_segments_before_flip(
+            self, tmp_path, monkeypatch):
+        """The heavy fsync happens per-segment *before* the flip span.
+
+        Each new-generation segment must see exactly two durable
+        flushes: the chunked pre-flush (its own short exclusive
+        window) and the near-empty straggler sync inside the flip.
+        """
+        g = powerlaw_graph(80, avg_degree=5, seed=4)
+        store = ShardedGraphStore(tmp_path / "old.db", num_shards=2)
+        store.bulk_load(g)
+        store.begin_reshard(4, path=tmp_path / "new.db")
+        while store.migrate_step(16):
+            pass
+        new_segments = list(store._migration.segments)
+        sync_flushes: list[int] = []
+        orig_flush = GraphStore.flush
+
+        def counting_flush(self, sync=False):
+            if sync:
+                sync_flushes.append(id(self))
+            return orig_flush(self, sync)
+
+        monkeypatch.setattr(GraphStore, "flush", counting_flush)
+        store.finish_reshard()
+        for seg in new_segments:
+            assert sync_flushes.count(id(seg)) == 2, (
+                "expected pre-flush + straggler sync for each segment")
+        _assert_matches(store, g)
+        store.close()
+        # Durability: the flipped generation reopens complete.
+        with ShardedGraphStore(tmp_path / "new.db", num_shards=4) as again:
+            _assert_matches(again, g)
+
     def test_progress_gauges_move(self):
         store = ShardedGraphStore(num_shards=2)
         store.bulk_load(_ring_graph(32))

@@ -1,0 +1,172 @@
+"""Tests for the runtime lock-order witness (repro.devtools.witness).
+
+Covers the recording semantics (nesting, object-scoped re-entrancy,
+same-name instances), the wrapper veneer, and the contract that ties
+the dynamic half to the static half: any interleaving in which every
+thread respects a single total lock order is accepted by the witness —
+its observed edges united with that order's edges stay acyclic.
+"""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devtools.concurrency import find_cycle
+from repro.devtools.witness import (LockOrderWitness, _WitnessedLock,
+                                    get_witness, wrap_lock)
+
+
+def make_witness() -> LockOrderWitness:
+    return LockOrderWitness(enabled=True)
+
+
+def test_nested_acquisition_records_one_edge():
+    w = make_witness()
+    a, b = object(), object()
+    w.notify_acquire("A._lock", a)
+    w.notify_acquire("B._lock", b)
+    assert w.edges() == {("A._lock", "B._lock")}
+    w.notify_release("B._lock", b)
+    w.notify_release("A._lock", a)
+    # Disjoint (non-nested) acquisitions add nothing.
+    w.notify_acquire("B._lock", b)
+    w.notify_release("B._lock", b)
+    assert w.edges() == {("A._lock", "B._lock")}
+
+
+def test_reentrancy_is_object_scoped():
+    w = make_witness()
+    lock = object()
+    w.notify_acquire("A._lock", lock)
+    w.notify_acquire("A._lock", lock)  # re-entry: same object
+    assert w.edges() == set()
+    w.notify_release("A._lock", lock)
+    w.notify_release("A._lock", lock)
+    assert w._held() == []
+
+
+def test_same_name_different_instance_records_no_self_edge():
+    # Offline reshard nests the target store's lock inside the
+    # source's: two instances of one class, no orderable edge.
+    w = make_witness()
+    src, dst = object(), object()
+    w.notify_acquire("ShardedGraphStore._lock", src)
+    w.notify_acquire("ShardedGraphStore._lock", dst)
+    assert w.edges() == set()
+
+
+def test_edges_are_per_thread():
+    w = make_witness()
+    a, b = object(), object()
+    w.notify_acquire("A._lock", a)
+
+    def other():
+        w.notify_acquire("B._lock", b)
+        w.notify_release("B._lock", b)
+
+    t = threading.Thread(target=other)
+    t.start()
+    t.join()
+    # The other thread held nothing: no A -> B edge.
+    assert w.edges() == set()
+
+
+def test_check_reports_combined_cycle():
+    w = make_witness()
+    a, b = object(), object()
+    w.notify_acquire("A._lock", a)
+    w.notify_acquire("B._lock", b)
+    assert w.check({("C._lock", "A._lock")}) is None
+    cycle = w.check({("B._lock", "A._lock")})
+    assert cycle is not None
+    assert cycle[0] == cycle[-1]
+    assert {"A._lock", "B._lock"} <= set(cycle)
+
+
+def test_reset_clears_observations():
+    w = make_witness()
+    w.notify_acquire("A._lock", object())
+    w.notify_acquire("B._lock", object())
+    assert w.edges()
+    w.reset()
+    assert w.edges() == set()
+
+
+# ------------------------------------------------------------- the wrapper
+
+
+def test_wrap_lock_is_identity_when_disabled():
+    witness = get_witness()
+    if witness.enabled:
+        pytest.skip("REPRO_LOCK_WITNESS=1: wrap_lock intentionally wraps")
+    raw = threading.Lock()
+    assert wrap_lock(raw, "X._lock") is raw
+
+
+def test_witnessed_lock_forwards_and_reports():
+    w = make_witness()
+    outer = object()
+    lock = _WitnessedLock(threading.Lock(), "Inner._lock", w)
+    w.notify_acquire("Outer._lock", outer)
+    with lock:
+        assert lock.locked()
+    assert not lock.locked()
+    assert w.edges() == {("Outer._lock", "Inner._lock")}
+    # Manual protocol balances the held stack too.
+    assert lock.acquire()
+    lock.release()
+    w.notify_release("Outer._lock", outer)
+    assert w._held() == []
+
+
+def test_witnessed_rlock_reentry_records_nothing():
+    w = make_witness()
+    lock = _WitnessedLock(threading.RLock(), "A._lock", w)
+    with lock:
+        with lock:
+            pass
+    assert w.edges() == set()
+
+
+# --------------------------------------------- static/dynamic consistency
+
+
+@st.composite
+def ordered_interleavings(draw):
+    """Acquisition traces where every thread respects lock order
+    L0 < L1 < ... < L{n-1} (ascending, properly nested)."""
+    n = draw(st.integers(min_value=2, max_value=6))
+    threads = draw(st.lists(
+        st.lists(st.integers(min_value=0, max_value=n - 1),
+                 unique=True, min_size=1, max_size=4).map(sorted),
+        min_size=1, max_size=4))
+    return n, threads
+
+
+@given(ordered_interleavings())
+@settings(max_examples=80, deadline=None)
+def test_order_respecting_interleavings_never_form_a_cycle(trace):
+    n, threads = trace
+    w = make_witness()
+    static_edges = {(f"L{i}._lock", f"L{j}._lock")
+                    for i in range(n) for j in range(i + 1, n)}
+    locks = [object() for _ in range(n)]
+
+    def run(plan):
+        for i in plan:
+            w.notify_acquire(f"L{i}._lock", locks[i])
+        for i in reversed(plan):
+            w.notify_release(f"L{i}._lock", locks[i])
+
+    workers = [threading.Thread(target=run, args=(plan,))
+               for plan in threads]
+    for t in workers:
+        t.start()
+    for t in workers:
+        t.join()
+
+    assert w.edges() <= static_edges
+    assert w.check(static_edges) is None
+    assert find_cycle(w.edges() | static_edges) is None
