@@ -23,7 +23,16 @@ Commands cover the basic operational loop of a VEND deployment:
 - ``trace`` — the same workload with the span tracer enabled,
   printing the ``query → ndf_filter → storage_get → cache`` trees;
 - ``bench`` — batched-query throughput, serial single-file engine vs
-  the shard-parallel engine, with ``--check-speedup`` as a CI gate.
+  the shard-parallel engine, with ``--check-speedup`` as a CI gate;
+- ``serve`` — the asyncio HTTP/JSON edge-query server (DESIGN.md §15):
+  ``/v1/edges:probe``, ``/v1/neighbors``, ``/v1/mutations``,
+  ``/healthz``, ``/metrics``, with cross-client probe coalescing,
+  token-bucket admission (``--rate``/``--burst``) and backpressure;
+- ``fuzz`` — the schema-driven fuzz harness against a ``serve``
+  instance (or a self-hosted empty one): hypothesis-generated
+  mutate/probe sequences vs a shadow ground truth, then a concurrent
+  hammer phase; exits non-zero on any false no-edge verdict, 5xx, or
+  malformed payload that was not answered with a 4xx.
 
 ``stats``, ``trace``, ``audit`` and ``bench`` accept
 ``--shards``/``--workers``/``--replicas`` (defaults: the
@@ -241,6 +250,59 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="X",
                        help="exit 1 unless sharded throughput >= X * serial "
                             "(the CI smoke gate)")
+
+    serve = commands.add_parser(
+        "serve", help="serve a VendGraphDB over HTTP/JSON (DESIGN.md §15)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="listen port (0: ephemeral, printed at start)")
+    serve.add_argument("--graph", type=Path, default=None,
+                       help="edge-list file to load (default: a seeded "
+                            "power-law graph, or nothing with --empty)")
+    serve.add_argument("--empty", action="store_true",
+                       help="start with an empty graph (the fuzz target: "
+                            "ground truth is built from mutations)")
+    serve.add_argument("--vertices", type=int, default=300)
+    serve.add_argument("--avg-degree", type=float, default=8.0)
+    serve.add_argument("--k", type=int, default=6)
+    serve.add_argument("--method", choices=["hybrid", "hyb+"],
+                       default="hyb+")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--batch-window", type=float, default=0.002,
+                       help="probe-coalescing window in seconds (0: drain "
+                            "whatever is queued, never wait)")
+    serve.add_argument("--rate", type=float, default=0.0,
+                       help="per-client admission tokens/s; probes cost "
+                            "one token per pair (default 0: disabled)")
+    serve.add_argument("--burst", type=float, default=10000.0,
+                       help="per-client token-bucket capacity")
+    serve.add_argument("--max-queue-pairs", type=int, default=65536,
+                       help="in-flight probe-pair bound before 429s")
+    add_shard_args(serve)
+
+    fuzz = commands.add_parser(
+        "fuzz", help="schema-driven fuzz of the edge-query server"
+    )
+    fuzz.add_argument("--url", default=None,
+                      help="fuzz a running server (must have started "
+                           "empty, e.g. `repro serve --empty`); default: "
+                           "self-host one")
+    fuzz.add_argument("--seed", type=int,
+                      default=int(os.environ.get("REPRO_FUZZ_SEED", "0")))
+    fuzz.add_argument("--examples", type=int, default=40,
+                      help="hypothesis examples in the sequential phase")
+    fuzz.add_argument("--clients", type=int, default=64,
+                      help="concurrent fuzz clients in the hammer phase")
+    fuzz.add_argument("--per-client", type=int, default=20,
+                      help="requests each concurrent client issues")
+    fuzz.add_argument("--universe", type=int, default=24,
+                      help="vertex-id universe size the fuzzer draws from")
+    fuzz.add_argument("--check-metrics", action="store_true",
+                      help="also verify /metrics counters move by exact "
+                           "integers around a known request count")
+    fuzz.add_argument("--k", type=int, default=6)
+    add_shard_args(fuzz)
 
     return parser
 
@@ -579,6 +641,85 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _server_db(args, empty: bool):
+    """A ``VendGraphDB`` for ``serve``/``fuzz`` from the shard args."""
+    from .apps import VendGraphDB
+    from .graph import Graph
+
+    db = VendGraphDB(k=args.k, method=getattr(args, "method", "hyb+"),
+                     shards=args.shards, workers=args.workers,
+                     replicas=getattr(args, "replicas", 0))
+    if empty:
+        db.load_graph(Graph())
+    elif getattr(args, "graph", None):
+        db.load_graph(read_edge_list(args.graph))
+    else:
+        db.load_graph(powerlaw_graph(args.vertices, args.avg_degree,
+                                     seed=args.seed))
+    return db
+
+
+def _cmd_serve(args) -> int:
+    import threading
+
+    from .server import ServerConfig, serve_in_thread
+
+    db = _server_db(args, empty=args.empty)
+    config = ServerConfig(host=args.host, port=args.port,
+                          batch_window=args.batch_window,
+                          rate=args.rate, burst=args.burst,
+                          max_queue_pairs=args.max_queue_pairs)
+    handle = serve_in_thread(db, config)
+    print(f"serving {db.num_vertices} vertices on {handle.url} "
+          f"(shards={db.num_shards}, replicas={db.replicas}, "
+          f"window={args.batch_window * 1000:.1f}ms, "
+          f"admission={'off' if args.rate <= 0 else f'{args.rate}/s'})",
+          flush=True)
+    try:
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        handle.stop()
+        db.close()
+    return 0
+
+
+def _cmd_fuzz(args) -> int:
+    from urllib.parse import urlparse
+
+    from .devtools import run_fuzz
+
+    handle = db = None
+    if args.url:
+        parsed = urlparse(args.url)
+        host, port = parsed.hostname, parsed.port or 80
+    else:
+        from .server import ServerConfig, serve_in_thread
+
+        db = _server_db(args, empty=True)
+        handle = serve_in_thread(db, ServerConfig())
+        host, port = handle.address
+        print(f"self-hosted fuzz target on {handle.url} "
+              f"(shards={db.num_shards})")
+    try:
+        report = run_fuzz(host, port, seed=args.seed,
+                          examples=args.examples, clients=args.clients,
+                          per_client=args.per_client,
+                          universe=args.universe,
+                          check_metrics=args.check_metrics)
+    finally:
+        if handle is not None:
+            handle.stop()
+        if db is not None:
+            db.close()
+    print(report.summary())
+    if not report.ok:
+        print(report.details())
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "build": _cmd_build,
@@ -591,6 +732,8 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "trace": _cmd_trace,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
+    "fuzz": _cmd_fuzz,
 }
 
 

@@ -34,6 +34,12 @@ _EXPORTS = {
     "audit_parallel_engine": ".audit",
     "ChaosAuditReport": ".audit",
     "audit_chaos": ".audit",
+    "FuzzReport": ".fuzz",
+    "PoisonedFilter": ".fuzz",
+    "ShadowGraph": ".fuzz",
+    "run_fuzz": ".fuzz",
+    "strategy_for": ".fuzz",
+    "FUZZ_SEED_ENV": ".fuzz",
 }
 
 __all__ = list(_EXPORTS)

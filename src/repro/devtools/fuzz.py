@@ -1,0 +1,625 @@
+"""Schema-driven fuzzing of the edge-query server.
+
+The server's contract (DESIGN.md §15) has two halves, and this module
+attacks both from the schemas in :mod:`repro.server.schemas`:
+
+- **Soundness** — no sequence of mutations and probes may ever produce
+  a *false no-edge* verdict: if the shadow ground-truth graph (a plain
+  dict-of-sets fed the exact same mutations) holds an edge, the server
+  must answer ``true``.  This is the paper's zero-false-negative
+  invariant carried across the wire; a lying filter, a torn batch, a
+  race between the coalescer and a mutation — all surface here.
+- **Robustness** — malformed input (invalid JSON, schema violations,
+  junk framing) must always be answered with a structured 4xx, never a
+  5xx and never a hang.
+
+Valid payloads are *generated from the same schema dicts the server
+validates with* (hypothesis strategies via :func:`strategy_for`), so
+the attack surface description cannot drift from the contract — the
+schemathesis idea, specialized to our five endpoints.  Invalid
+payloads are schema-guided corruptions of valid ones plus raw junk.
+
+Phase A drives one client through hypothesis-generated
+mutate-then-probe sequences; phase B freezes the graph and hammers it
+with ``clients`` concurrent threads (distinct ``X-Client-Id``s, honest
+``Retry-After`` handling) mixing probes and garbage.  Both phases feed
+one :class:`FuzzReport`; ``repro fuzz`` exits non-zero unless
+``report.ok``.
+
+Seeded end to end: ``seed`` (default ``$REPRO_FUZZ_SEED``) fixes
+hypothesis's search and every thread's RNG, so a CI failure replays
+locally with the same number.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..server.schemas import (
+    MAX_MUTATION_OPS,
+    MAX_PROBE_PAIRS,
+    MAX_VERTEX_ID,
+    check_mutation_op,
+)
+
+__all__ = [
+    "FUZZ_SEED_ENV",
+    "FuzzReport",
+    "PoisonedFilter",
+    "ShadowGraph",
+    "run_fuzz",
+    "strategy_for",
+]
+
+#: Environment variable CI uses to sweep fuzz seeds.
+FUZZ_SEED_ENV = "REPRO_FUZZ_SEED"
+
+#: Fuzzing draws vertices from a small universe so probes actually hit
+#: edges the mutations created (ids sparse in 2**62 never collide).
+DEFAULT_UNIVERSE = 24
+
+
+# -- ground truth -----------------------------------------------------------
+
+
+class ShadowGraph:
+    """Dict-of-sets ground truth mirroring the server's mutation log.
+
+    Deliberately nothing like the system under test — no encoding, no
+    storage, no filter — so a bug cannot cancel itself out by living
+    on both sides of the comparison.
+    """
+
+    def __init__(self):
+        self._adj: dict[int, set[int]] = {}
+
+    def apply(self, op: dict) -> None:
+        verb = op["op"]
+        if verb == "add_edge":
+            self._adj.setdefault(op["u"], set()).add(op["v"])
+            self._adj.setdefault(op["v"], set()).add(op["u"])
+        elif verb == "remove_edge":
+            self._adj.get(op["u"], set()).discard(op["v"])
+            self._adj.get(op["v"], set()).discard(op["u"])
+        elif verb == "add_vertex":
+            self._adj.setdefault(op["v"], set())
+        elif verb == "remove_vertex":
+            neighbors = self._adj.pop(op["v"], set())
+            for u in neighbors:
+                self._adj.get(u, set()).discard(op["v"])
+        else:
+            raise ValueError(f"unknown op {verb!r}")
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return v in self._adj.get(u, ())
+
+    def edges(self) -> list[tuple[int, int]]:
+        return [(u, v) for u, nbrs in self._adj.items()
+                for v in nbrs if u < v]
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+
+# -- schema → hypothesis strategies ----------------------------------------
+
+
+def strategy_for(schema: dict, vertex_ids=None):
+    """A hypothesis strategy generating values conforming to ``schema``.
+
+    This is the generic walker over the tiny schema language of
+    :mod:`repro.server.schemas` — any schema those dicts can express,
+    this can generate.  ``vertex_ids`` (a strategy) narrows every
+    bounded-int leaf to interesting ids so generated edges collide.
+    """
+    from hypothesis import strategies as st
+
+    kind = schema.get("type")
+    if kind == "int":
+        if vertex_ids is not None:
+            return vertex_ids
+        return st.integers(min_value=schema.get("min", -(2**63)),
+                           max_value=schema.get("max", 2**63))
+    if kind == "string":
+        enum = schema.get("enum")
+        if enum is not None:
+            return st.sampled_from(list(enum))
+        return st.text(max_size=32)
+    if kind == "bool":
+        return st.booleans()
+    if kind == "array":
+        return st.lists(
+            strategy_for(schema["items"], vertex_ids),
+            min_size=schema.get("min_items", 0),
+            # Cap generated arrays well below the schema bound: the
+            # point is request diversity, not 4096-pair payloads.
+            max_size=min(schema.get("max_items", 8), 8),
+        )
+    if kind == "object":
+        required, optional = {}, {}
+        for name, sub in schema.get("fields", {}).items():
+            target = required if sub.get("required") else optional
+            target[name] = strategy_for(sub, vertex_ids)
+        return st.fixed_dictionaries(required, optional=optional)
+    raise ValueError(f"unknown schema type {kind!r}")
+
+
+def valid_mutation_ops(vertex_ids):
+    """Strategy for one cross-field-valid mutation op."""
+    from hypothesis import strategies as st
+    from ..server.schemas import MUTATION_OP
+
+    return (strategy_for(MUTATION_OP, vertex_ids)
+            .filter(lambda op: not check_mutation_op(op)))
+
+
+def _corruptions(universe: int):
+    """Schema-guided invalid payloads: ``(endpoint, body_bytes)``.
+
+    Each entry violates exactly one rule (wrong type, missing field,
+    bound, enum, self-loop, unknown field, oversize, non-JSON, bad
+    UTF-8) so a regression pinpoints which check went missing.
+    """
+    mid = universe // 2
+    return [
+        ("/v1/edges:probe", b"this is not json"),
+        ("/v1/edges:probe", b"\xff\xfe\x00garbage"),
+        ("/v1/edges:probe", b""),
+        ("/v1/edges:probe", b"[]"),
+        ("/v1/edges:probe", b'{"pairs": 7}'),
+        ("/v1/edges:probe", b'{"pairs": [[1]]}'),
+        ("/v1/edges:probe", b'{"pairs": [[1, 2, 3]]}'),
+        ("/v1/edges:probe", b'{"pairs": [[-1, 2]]}'),
+        ("/v1/edges:probe", b'{"pairs": [[true, 2]]}'),
+        ("/v1/edges:probe", b'{"pairs": [["1", 2]]}'),
+        ("/v1/edges:probe",
+         json.dumps({"pairs": [[0, MAX_VERTEX_ID + 1]]}).encode()),
+        ("/v1/edges:probe",
+         json.dumps({"pairs": [[0, 1]] * (MAX_PROBE_PAIRS + 1)}).encode()),
+        ("/v1/edges:probe", b'{"pairs": [[0, 1]], "extra": true}'),
+        ("/v1/neighbors", b'{}'),
+        ("/v1/neighbors", b'{"vertex": "zero"}'),
+        ("/v1/neighbors", b'{"vertex": -3}'),
+        ("/v1/neighbors", b'{"vertex": 1, "depth": 2}'),
+        ("/v1/mutations", b'{"ops": []}'),
+        ("/v1/mutations", b'{"ops": [{"op": "explode", "v": 1}]}'),
+        ("/v1/mutations", b'{"ops": [{"op": "add_edge", "u": 1}]}'),
+        ("/v1/mutations",
+         json.dumps({"ops": [{"op": "add_edge", "u": mid,
+                              "v": mid}]}).encode()),
+        ("/v1/mutations",
+         json.dumps({"ops": [{"op": "add_vertex", "u": 1,
+                              "v": 2}]}).encode()),
+        ("/v1/mutations",
+         json.dumps({"ops": [{"op": "add_vertex", "v": 1}]
+                     * (MAX_MUTATION_OPS + 1)}).encode()),
+    ]
+    return docs
+
+
+# -- the report -------------------------------------------------------------
+
+
+@dataclass
+class FuzzReport:
+    """Everything both fuzz phases observed, worst news first."""
+
+    seed: int
+    examples: int = 0
+    requests: int = 0
+    #: Shadow has the edge, server said no — the unforgivable verdict.
+    false_no_edge: list[str] = field(default_factory=list)
+    #: Server said edge, shadow disagrees (unsound the other way).
+    phantom_edges: list[str] = field(default_factory=list)
+    #: Any 5xx, transport error, or invalid-JSON success body.
+    server_errors: list[str] = field(default_factory=list)
+    #: Malformed payloads not answered with a 4xx.
+    bad_status: list[str] = field(default_factory=list)
+
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False)
+
+    @property
+    def ok(self) -> bool:
+        return not (self.false_no_edge or self.phantom_edges
+                    or self.server_errors or self.bad_status)
+
+    def book(self, bucket: str, message: str, cap: int = 25) -> None:
+        """Thread-safe append, bounded so a hot failure stays readable."""
+        with self._lock:
+            entries = getattr(self, bucket)
+            if len(entries) < cap:
+                entries.append(message)
+
+    def summary(self) -> str:
+        verdict = "OK" if self.ok else "FAIL"
+        return (f"fuzz[seed={self.seed}]: {verdict} — "
+                f"{self.examples} examples, {self.requests} requests, "
+                f"{len(self.false_no_edge)} false no-edge, "
+                f"{len(self.phantom_edges)} phantom edges, "
+                f"{len(self.server_errors)} server errors, "
+                f"{len(self.bad_status)} bad statuses")
+
+    def details(self, limit: int = 10) -> str:
+        lines = []
+        for bucket in ("false_no_edge", "phantom_edges", "server_errors",
+                       "bad_status"):
+            for message in getattr(self, bucket)[:limit]:
+                lines.append(f"  [{bucket}] {message}")
+        return "\n".join(lines)
+
+
+# -- the HTTP client --------------------------------------------------------
+
+
+class _FuzzClient:
+    """One keep-alive connection with honest 429 handling."""
+
+    def __init__(self, host: str, port: int, client_id: str,
+                 report: FuzzReport, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.client_id = client_id
+        self.report = report
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout)
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def request(self, method: str, path: str, body: bytes | None = None,
+                retries: int = 8):
+        """Issue one request; returns ``(status, parsed_body_or_None)``.
+
+        429s are retried after the server's suggested ``Retry-After``
+        (capped — a fuzz run should not sleep for real); anything the
+        transport coughs up is booked as a server error.
+        """
+        headers = {"X-Client-Id": self.client_id}
+        if body is not None:
+            headers["Content-Type"] = "application/json"
+        for _attempt in range(retries + 1):
+            try:
+                conn = self._connection()
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                payload = response.read()
+                status = response.status
+            except (OSError, http.client.HTTPException) as exc:
+                self.close()
+                self.report.book(
+                    "server_errors",
+                    f"{method} {path}: transport error {exc!r}")
+                return None, None
+            self.report.requests += 1  # benign race: diagnostics only
+            if status == 429:
+                retry_after = response.headers.get("Retry-After")
+                try:
+                    delay = float(retry_after)
+                except (TypeError, ValueError):
+                    self.report.book(
+                        "server_errors",
+                        f"{method} {path}: 429 without a numeric "
+                        f"Retry-After ({retry_after!r})")
+                    return status, None
+                time.sleep(min(max(delay, 0.0), 0.05))
+                continue
+            if status >= 500:
+                self.report.book(
+                    "server_errors",
+                    f"{method} {path}: HTTP {status} "
+                    f"{payload[:120]!r}")
+                return status, None
+            try:
+                doc = json.loads(payload) if payload else None
+            except json.JSONDecodeError:
+                if path != "/metrics":
+                    self.report.book(
+                        "server_errors",
+                        f"{method} {path}: unparseable body "
+                        f"{payload[:120]!r}")
+                doc = payload.decode("utf-8", "replace")
+            return status, doc
+        self.report.book(
+            "server_errors",
+            f"{method} {path}: still 429 after {retries} retries")
+        return 429, None
+
+
+# -- fuzz phases ------------------------------------------------------------
+
+
+def _check_probe(client: _FuzzClient, shadow: ShadowGraph,
+                 pairs: list[tuple[int, int]], where: str) -> None:
+    """Probe ``pairs`` and compare every verdict against the shadow."""
+    body = json.dumps({"pairs": [list(p) for p in pairs]}).encode()
+    status, doc = client.request("POST", "/v1/edges:probe", body)
+    if status is None or status == 429:
+        return
+    if status != 200 or not isinstance(doc, dict):
+        client.report.book(
+            "server_errors",
+            f"{where}: probe of {len(pairs)} pairs → HTTP {status}")
+        return
+    results = doc.get("results")
+    if not isinstance(results, list) or len(results) != len(pairs):
+        client.report.book(
+            "server_errors",
+            f"{where}: probe returned {results!r} for {len(pairs)} pairs")
+        return
+    for (u, v), verdict in zip(pairs, results):
+        truth = shadow.has_edge(u, v)
+        if truth and not verdict:
+            client.report.book(
+                "false_no_edge",
+                f"{where}: edge ({u}, {v}) exists but server said no")
+        elif verdict and not truth:
+            client.report.book(
+                "phantom_edges",
+                f"{where}: server claims edge ({u}, {v}) that was "
+                f"never added")
+
+
+def _check_malformed(client: _FuzzClient, path: str, body: bytes,
+                     where: str) -> None:
+    status, _doc = client.request("POST", path, body)
+    if status is None or status == 429:
+        return  # transport errors were already booked
+    if not 400 <= status < 500:
+        client.report.book(
+            "bad_status",
+            f"{where}: malformed POST {path} ({body[:60]!r}) → "
+            f"HTTP {status}, wanted 4xx")
+
+
+def _sequential_phase(client: _FuzzClient, shadow: ShadowGraph,
+                      seed: int, examples: int, universe: int) -> None:
+    """Phase A: hypothesis-driven mutate → probe → garbage sequences.
+
+    Violations are *collected*, not asserted — server state persists
+    across examples, so shrinking could not replay a failure anyway;
+    determinism comes from the seed, diagnosis from the report.
+    """
+    from hypothesis import HealthCheck, given, settings
+    from hypothesis import seed as hypothesis_seed
+    from hypothesis import strategies as st
+
+    vertex_ids = st.integers(min_value=0, max_value=universe - 1)
+    ops_strategy = st.lists(valid_mutation_ops(vertex_ids),
+                            min_size=1, max_size=6)
+    pairs_strategy = st.lists(
+        st.tuples(vertex_ids, vertex_ids).filter(lambda p: p[0] != p[1]),
+        min_size=1, max_size=12)
+    junk = _corruptions(universe)
+    report = client.report
+
+    @settings(max_examples=examples, database=None, deadline=None,
+              suppress_health_check=list(HealthCheck), derandomize=False)
+    @hypothesis_seed(seed)
+    @given(ops=ops_strategy, pairs=pairs_strategy,
+           junk_index=st.integers(min_value=0, max_value=len(junk) - 1),
+           probe_removed=st.booleans())
+    def drive(ops, pairs, junk_index, probe_removed):
+        report.examples += 1
+        where = f"phaseA#{report.examples}"
+        body = json.dumps({"ops": ops}).encode()
+        status, doc = client.request("POST", "/v1/mutations", body)
+        if status == 200 and isinstance(doc, dict):
+            # The shadow applies exactly what the server acknowledged.
+            for op in ops:
+                shadow.apply(op)
+        elif status not in (None, 429):
+            report.book(
+                "server_errors",
+                f"{where}: valid mutations → HTTP {status}: {doc!r}")
+        probe = list(pairs)
+        if probe_removed and ops:
+            # Aim some probes at just-touched endpoints: the regime
+            # where a stale filter or torn update would lie.
+            for op in ops[:3]:
+                if "u" in op:
+                    probe.append((op["u"], op["v"]))
+        _check_probe(client, shadow, probe, where)
+        path, garbage = junk[junk_index]
+        _check_malformed(client, path, garbage, where)
+
+    drive()
+
+
+def _concurrent_phase(host: str, port: int, shadow: ShadowGraph,
+                      report: FuzzReport, seed: int, clients: int,
+                      per_client: int, universe: int) -> None:
+    """Phase B: ``clients`` threads hammer a frozen graph at once.
+
+    No mutations in flight, so every probe has one right answer — any
+    disagreement is a concurrency bug in the server (torn coalescing,
+    cross-request result scattering, racy masking), not staleness.
+    """
+    import random
+
+    junk = _corruptions(universe)
+    edges = shadow.edges()
+    barrier = threading.Barrier(clients)
+
+    def worker(worker_id: int) -> None:
+        rng = random.Random(seed * 7919 + worker_id)
+        client = _FuzzClient(host, port, f"fuzz-{worker_id}", report)
+        try:
+            barrier.wait(timeout=30)
+            for i in range(per_client):
+                where = f"phaseB[c{worker_id}#{i}]"
+                roll = rng.random()
+                if roll < 0.70:
+                    pairs = []
+                    for _ in range(rng.randint(1, 16)):
+                        if edges and rng.random() < 0.5:
+                            u, v = rng.choice(edges)
+                            if rng.random() < 0.5:
+                                u, v = v, u
+                        else:
+                            u = rng.randrange(universe)
+                            v = rng.randrange(universe)
+                            while v == u:
+                                v = rng.randrange(universe)
+                        pairs.append((u, v))
+                    _check_probe(client, shadow, pairs, where)
+                elif roll < 0.90:
+                    path, garbage = junk[rng.randrange(len(junk))]
+                    _check_malformed(client, path, garbage, where)
+                else:
+                    status, _doc = client.request("GET", "/healthz")
+                    if status not in (None, 200, 429, 503):
+                        report.book(
+                            "server_errors",
+                            f"{where}: healthz → HTTP {status}")
+        finally:
+            client.close()
+
+    threads = [threading.Thread(target=worker, args=(i,),
+                                name=f"fuzz-client-{i}", daemon=True)
+               for i in range(clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=300)
+        if thread.is_alive():
+            report.book("server_errors",
+                        f"{thread.name} still running after 300s (hang?)")
+
+
+def check_exact_metrics(host: str, port: int, report: FuzzReport,
+                        probes: int = 7) -> None:
+    """Scrape ``/metrics`` around a known request count; verify exact
+    integer deltas and the absence of ``%g``-style rounding artifacts.
+    """
+    client = _FuzzClient(host, port, "fuzz-metrics", report)
+
+    def scrape() -> dict[str, str]:
+        status, text = client.request("GET", "/metrics")
+        if status != 200 or not isinstance(text, str):
+            report.book("server_errors",
+                        f"metrics: scrape → HTTP {status}")
+            return {}
+        out = {}
+        for line in text.splitlines():
+            if line.startswith("#") or not line.strip():
+                continue
+            name, _, value = line.rpartition(" ")
+            out[name] = value
+        return out
+
+    try:
+        before = scrape()
+        body = json.dumps({"pairs": [[0, 1]]}).encode()
+        for _ in range(probes):
+            status, _doc = client.request("POST", "/v1/edges:probe", body)
+            if status != 200:
+                report.book("server_errors",
+                            f"metrics: warm probe → HTTP {status}")
+                return
+        after = scrape()
+    finally:
+        client.close()
+    if not before or not after:
+        return
+
+    def probe_total(samples: dict[str, str]) -> int | None:
+        # Sum across server scopes: several servers may share the
+        # process registry, but only the one under test is moving.
+        keys = [k for k in samples
+                if k.startswith("repro_server_requests_total")
+                and 'endpoint="/v1/edges:probe"' in k
+                and 'code="200"' in k]
+        return sum(int(samples[k]) for k in keys) if keys else None
+
+    total_after = probe_total(after)
+    if total_after is None:
+        report.book("server_errors",
+                    "metrics: no requests_total series for the probe "
+                    "endpoint")
+        return
+    delta = total_after - (probe_total(before) or 0)
+    if delta != probes:
+        report.book(
+            "server_errors",
+            f"metrics: requests_total moved by {delta}, expected exactly "
+            f"{probes} — counter exposition is not exact")
+    for name, value in after.items():
+        if "e+" in value or "E+" in value:
+            report.book(
+                "server_errors",
+                f"metrics: {name} rendered in scientific notation "
+                f"({value}) — %g rounding is back")
+
+
+# -- entry point ------------------------------------------------------------
+
+
+def run_fuzz(host: str, port: int, seed: int = 0, examples: int = 40,
+             clients: int = 64, per_client: int = 20,
+             universe: int = DEFAULT_UNIVERSE,
+             check_metrics: bool = False,
+             shadow: ShadowGraph | None = None) -> FuzzReport:
+    """Fuzz a live server; returns the combined two-phase report.
+
+    The server must start *empty* (or ``shadow`` must describe its
+    current edges exactly) — ground truth is maintained client-side
+    from the acknowledged mutations.
+    """
+    report = FuzzReport(seed=seed)
+    shadow = shadow if shadow is not None else ShadowGraph()
+    if examples > 0:
+        client = _FuzzClient(host, port, "fuzz-sequential", report)
+        try:
+            _sequential_phase(client, shadow, seed, examples, universe)
+        finally:
+            client.close()
+    if clients > 0 and per_client > 0:
+        _concurrent_phase(host, port, shadow, report, seed, clients,
+                          per_client, universe)
+    if check_metrics:
+        check_exact_metrics(host, port, report)
+    return report
+
+
+# -- the planted bug --------------------------------------------------------
+
+
+class PoisonedFilter:
+    """A filter that lies: claims one real edge is a certain non-edge.
+
+    Installed over ``db._engine.nonedge_filter`` in tests to prove the
+    fuzz harness *detects* soundness violations rather than vacuously
+    passing: a probe of the poisoned pair produces a false no-edge
+    verdict, which :func:`run_fuzz` must book.
+
+    ``is_nonedge_batch`` is deliberately withheld (not delegated) so
+    the engine's batch path falls back to the scalar predicate and the
+    lie reaches every probe.
+    """
+
+    def __init__(self, inner, poisoned_pair: tuple[int, int]):
+        self._inner = inner
+        self._poison = (min(poisoned_pair), max(poisoned_pair))
+
+    def is_nonedge(self, u: int, v: int) -> bool:
+        if (min(u, v), max(u, v)) == self._poison:
+            return True
+        return self._inner.is_nonedge(u, v)
+
+    def __getattr__(self, name: str):
+        if name == "is_nonedge_batch":
+            raise AttributeError(name)
+        return getattr(self._inner, name)

@@ -65,6 +65,20 @@ def _format_bound(bound: float) -> str:
     return "+Inf" if bound == float("inf") else f"{bound:g}"
 
 
+def _format_value(value: int | float) -> str:
+    """Exact sample rendering for the exposition format.
+
+    ``%g`` silently rounds to 6 significant digits, so a counter at
+    12,345,678 exported as ``1.23457e+07`` — a corrupted series once
+    traffic passes ~10M events.  Integers render via ``str`` (exact at
+    any magnitude) and floats via ``repr`` (shortest round-trippable
+    form, full precision).
+    """
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
 class CounterSeries:
     """One labeled counter time series (monotonic until :meth:`set`)."""
 
@@ -101,9 +115,16 @@ class GaugeSeries:
 
 
 class HistogramSeries:
-    """One labeled histogram: bounded buckets plus sum and count."""
+    """One labeled histogram: bounded buckets plus sum and count.
 
-    __slots__ = ("labels", "bounds", "bucket_counts", "total", "count")
+    ``observe`` updates three fields (bucket, sum, count) that only
+    make sense together, so both the update and :meth:`state` hold a
+    per-series lock — a concurrent ``/metrics`` scrape can never see
+    ``_count`` ahead of ``_sum`` or a bucket row that does not add up.
+    """
+
+    __slots__ = ("labels", "bounds", "bucket_counts", "total", "count",
+                 "_lock")
 
     def __init__(self, labels: tuple[tuple[str, str], ...],
                  bounds: tuple[float, ...]):
@@ -112,19 +133,35 @@ class HistogramSeries:
         self.bucket_counts = [0] * (len(bounds) + 1)  # final slot: +Inf
         self.total = 0.0
         self.count = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        # First bound >= value, or the +Inf slot when none qualifies.
-        self.bucket_counts[bisect_left(self.bounds, value)] += 1
-        self.total += value
-        self.count += 1
+        with self._lock:
+            # First bound >= value, or the +Inf slot when none qualifies.
+            self.bucket_counts[bisect_left(self.bounds, value)] += 1
+            self.total += value
+            self.count += 1
 
-    def cumulative_buckets(self) -> list[tuple[float, int]]:
+    def state(self) -> tuple[list[int], float, int]:
+        """Atomic ``(bucket_counts, sum, count)`` snapshot of the series."""
+        with self._lock:
+            return list(self.bucket_counts), self.total, self.count
+
+    def reset(self) -> None:
+        with self._lock:
+            self.bucket_counts = [0] * len(self.bucket_counts)
+            self.total = 0.0
+            self.count = 0
+
+    def cumulative_buckets(self, bucket_counts: list[int] | None = None,
+                           ) -> list[tuple[float, int]]:
         """``(upper_bound, cumulative_count)`` pairs, +Inf last."""
+        if bucket_counts is None:
+            bucket_counts = self.state()[0]
         out = []
         acc = 0
         for bound, bucket in zip((*self.bounds, float("inf")),
-                                 self.bucket_counts):
+                                 bucket_counts):
             acc += bucket
             out.append((bound, acc))
         return out
@@ -272,8 +309,9 @@ class MetricsRegistry:
             for series in metric.series():
                 labels = _format_labels(series.labels)
                 if metric.kind == "histogram":
-                    out[f"{metric.name}_sum{labels}"] = series.total
-                    out[f"{metric.name}_count{labels}"] = series.count
+                    _, total, count = series.state()
+                    out[f"{metric.name}_sum{labels}"] = total
+                    out[f"{metric.name}_count{labels}"] = count
                 else:
                     out[f"{metric.name}{labels}"] = series.value
         return out
@@ -298,9 +336,7 @@ class MetricsRegistry:
         for metric in self.metrics():
             for series in metric.series():
                 if isinstance(series, HistogramSeries):
-                    series.bucket_counts = [0] * len(series.bucket_counts)
-                    series.total = 0.0
-                    series.count = 0
+                    series.reset()
                 else:
                     series.set(0)
 
@@ -314,12 +350,13 @@ class MetricsRegistry:
             for series in metric.series():
                 entry: dict = {"labels": dict(series.labels)}
                 if metric.kind == "histogram":
+                    buckets, total, count = series.state()
                     entry["buckets"] = [
-                        [_format_bound(bound), count]
-                        for bound, count in series.cumulative_buckets()
+                        [_format_bound(bound), acc]
+                        for bound, acc in series.cumulative_buckets(buckets)
                     ]
-                    entry["sum"] = series.total
-                    entry["count"] = series.count
+                    entry["sum"] = total
+                    entry["count"] = count
                 else:
                     entry["value"] = series.value
                 series_out.append(entry)
@@ -332,7 +369,14 @@ class MetricsRegistry:
         return {"metrics": families}
 
     def to_prometheus(self) -> str:
-        """Prometheus text exposition format (version 0.0.4)."""
+        """Prometheus text exposition format (version 0.0.4).
+
+        Scrape-safe under concurrency: every histogram series renders
+        from one atomic :meth:`HistogramSeries.state` capture, so a
+        scrape racing a batch never observes ``_count`` ahead of
+        ``_sum`` or buckets that disagree with either.  Values are
+        emitted exactly (:func:`_format_value`), never ``%g``-rounded.
+        """
         lines: list[str] = []
         for metric in self.metrics():
             if metric.help:
@@ -341,17 +385,20 @@ class MetricsRegistry:
             for series in metric.series():
                 base = dict(series.labels)
                 if metric.kind == "histogram":
-                    for bound, count in series.cumulative_buckets():
+                    buckets, total, count = series.state()
+                    for bound, acc in series.cumulative_buckets(buckets):
                         labels = _format_labels(tuple(sorted(
                             (*base.items(), ("le", _format_bound(bound)))
                         )))
-                        lines.append(f"{metric.name}_bucket{labels} {count}")
+                        lines.append(f"{metric.name}_bucket{labels} {acc}")
                     plain = _format_labels(series.labels)
-                    lines.append(f"{metric.name}_sum{plain} {series.total:g}")
-                    lines.append(f"{metric.name}_count{plain} {series.count}")
+                    lines.append(f"{metric.name}_sum{plain} "
+                                 f"{_format_value(total)}")
+                    lines.append(f"{metric.name}_count{plain} {count}")
                 else:
                     labels = _format_labels(series.labels)
-                    lines.append(f"{metric.name}{labels} {series.value:g}")
+                    lines.append(f"{metric.name}{labels} "
+                                 f"{_format_value(series.value)}")
         return "\n".join(lines) + "\n"
 
 

@@ -1,0 +1,37 @@
+"""repro.server — the asyncio HTTP/JSON front door (DESIGN.md §15).
+
+The paper's deployment picture (Fig. 1; Appendix E.1's Neo4j case
+study) is a graph *service* whose edge-query path consults in-memory
+VEND codes before disk.  This package puts :class:`~repro.apps.VendGraphDB`
+behind a network API without any framework dependency — HTTP/1.1
+framing over stdlib ``asyncio`` streams:
+
+- ``POST /v1/edges:probe``  — batch edge probes, coalesced across
+  concurrent clients into the sharded batch pipeline;
+- ``POST /v1/neighbors``    — adjacency reads;
+- ``POST /v1/mutations``    — edge/vertex inserts and deletes;
+- ``GET  /healthz``         — liveness + the storage ``degraded`` latch;
+- ``GET  /metrics``         — the Prometheus exposition from
+  :mod:`repro.obs`, rendered scrape-consistently.
+
+Request bodies are validated against the declarative schemas in
+:mod:`~repro.server.schemas` — the same schemas the fuzz harness
+(:mod:`repro.devtools.fuzz`) derives its hypothesis strategies from,
+so the server's contract and its attacker share one source of truth.
+"""
+
+from .admission import AdmissionController, TokenBucket
+from .app import ServerConfig, ServerHandle, VendServer, serve_in_thread
+from .schemas import ENDPOINTS, SchemaError, validate
+
+__all__ = [
+    "AdmissionController",
+    "TokenBucket",
+    "ServerConfig",
+    "ServerHandle",
+    "VendServer",
+    "serve_in_thread",
+    "ENDPOINTS",
+    "SchemaError",
+    "validate",
+]

@@ -1,0 +1,97 @@
+"""Per-client token-bucket admission control.
+
+A serving layer for "millions of users" cannot let one hot client
+starve the rest: every client (keyed by ``X-Client-Id`` header, or the
+peer address when absent) owns a token bucket refilled at ``rate``
+tokens/second up to ``burst``.  A request costs one token by default;
+batch probes cost one token per pair so a 4096-pair batch and 4096
+single probes are priced identically.
+
+Denials return the exact time until the next token, which the server
+surfaces as a ``Retry-After`` header — a well-behaved client backs off
+precisely as long as needed, never in lockstep (the same retry-storm
+reasoning as the storage layer's jittered backoff; see
+:mod:`repro.storage.faults`).
+
+The controller is touched only from the event-loop thread, so it needs
+no locking; the clock is injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["TokenBucket", "AdmissionController"]
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s, capacity ``burst``."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: float, now: float):
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.updated = now
+
+    def try_take(self, cost: float, now: float) -> float:
+        """Admit (return 0.0) or deny with seconds-until-affordable."""
+        elapsed = max(0.0, now - self.updated)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.updated = now
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return 0.0
+        missing = min(cost, self.burst) - self.tokens
+        return missing / self.rate
+
+
+class AdmissionController:
+    """One bucket per client id, lazily created, idle-pruned.
+
+    ``rate <= 0`` disables admission entirely (every request admitted)
+    — the switch the CLI exposes as ``--rate 0``.
+    """
+
+    #: Buckets idle this long are dropped on the next sweep.
+    IDLE_SECONDS = 300.0
+    #: Sweep cadence, counted in ``admit`` calls.
+    _SWEEP_EVERY = 1024
+
+    def __init__(self, rate: float, burst: float,
+                 clock=time.monotonic):
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._calls = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+    def admit(self, client: str, cost: float = 1.0) -> float:
+        """0.0 when admitted, else the suggested Retry-After seconds."""
+        if not self.enabled:
+            return 0.0
+        now = self._clock()
+        self._calls += 1
+        if self._calls % self._SWEEP_EVERY == 0:
+            self._prune(now)
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = self._buckets[client] = TokenBucket(
+                self.rate, self.burst, now)
+        return bucket.try_take(cost, now)
+
+    def _prune(self, now: float) -> None:
+        stale = [client for client, bucket in self._buckets.items()
+                 if now - bucket.updated > self.IDLE_SECONDS]
+        for client in stale:
+            del self._buckets[client]
+
+    def __len__(self) -> int:
+        return len(self._buckets)

@@ -1,0 +1,540 @@
+"""The VEND edge-query server: asyncio front door over ``VendGraphDB``.
+
+Architecture (DESIGN.md §15):
+
+- **One event loop** accepts connections and parses/validates requests
+  (:mod:`~repro.server.http`, :mod:`~repro.server.schemas`).  Nothing
+  on the loop ever touches the graph.
+- **One db worker thread** owns every ``VendGraphDB`` call.  Probes,
+  mutations and neighbor reads are serialized through it, so the
+  server needs no locking discipline of its own on top of the store's
+  — exactly one thread observes graph state, and the engine's batch
+  pipeline parallelizes *inside* a call via its own shard pool.
+- **Micro-batching**: concurrent ``/v1/edges:probe`` requests land in
+  a queue; the batcher drains it, waits up to ``batch_window`` seconds
+  for stragglers (bounded by ``max_batch_pairs``), concatenates every
+  request's pairs in arrival order, answers them with *one*
+  ``has_edge_batch`` call, and slices the verdict array back per
+  request — input order within each request is preserved by
+  construction, and the engine books per-shard stats exactly as if one
+  giant client had asked.
+- **Admission + backpressure**: per-client token buckets
+  (:mod:`~repro.server.admission`) price a probe batch by its pair
+  count; a full queue or the storage layer's ``degraded`` latch turns
+  new work away with 429 + ``Retry-After`` instead of queueing into
+  collapse.
+
+Error contract: malformed framing, bodies, or schema violations are
+*always* structured 4xx JSON (``{"error": {...}}``) — the fuzz harness
+(:mod:`repro.devtools.fuzz`) hammers this promise with generated
+garbage and asserts no 5xx and no wrong verdict ever escapes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..obs import default_registry
+from .admission import AdmissionController
+from .http import ProtocolError, Request, read_request, render_response
+from .schemas import ENDPOINTS, check_mutation_op, validate
+
+__all__ = ["ServerConfig", "VendServer", "ServerHandle", "serve_in_thread"]
+
+logger = logging.getLogger(__name__)
+
+_KNOWN_PATHS = {path for _method, path in ENDPOINTS}
+
+
+@dataclass
+class ServerConfig:
+    """Tunables for :class:`VendServer` (defaults favor correctness)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                    # 0: ephemeral, read back after start
+    #: Seconds the batcher waits for more probe requests to coalesce.
+    batch_window: float = 0.002
+    #: Pair budget per coalesced engine call.
+    max_batch_pairs: int = 16384
+    #: In-flight pair bound; beyond it new probes get 429.
+    max_queue_pairs: int = 65536
+    #: Token-bucket refill rate per client (tokens/s); <= 0 disables.
+    rate: float = 0.0
+    #: Token-bucket capacity per client.
+    burst: float = 10000.0
+    #: Request body size limit (bytes).
+    max_body: int = 1 << 20
+    #: ``Retry-After`` seconds suggested while the store is degraded.
+    degraded_retry_after: float = 1.0
+
+
+@dataclass
+class _ProbeItem:
+    """One enqueued probe request awaiting a coalesced batch."""
+
+    us: np.ndarray
+    vs: np.ndarray
+    future: asyncio.Future = field(repr=False)
+
+    @property
+    def count(self) -> int:
+        return len(self.us)
+
+
+class VendServer:
+    """Serve a built :class:`~repro.apps.VendGraphDB` over HTTP/JSON."""
+
+    def __init__(self, db, config: ServerConfig | None = None,
+                 registry=None):
+        self.db = db
+        self.config = config or ServerConfig()
+        registry = registry or default_registry()
+        self._scope = registry.scope("server")
+        self._requests = registry.counter(
+            "repro_server_requests_total",
+            "HTTP requests answered, by endpoint and status code")
+        self._rejected = registry.counter(
+            "repro_server_rejected_total",
+            "Requests turned away (admission, backpressure, validation)")
+        self._batches = registry.counter(
+            "repro_server_coalesced_batches_total",
+            "Engine batch calls issued by the micro-batcher")
+        self._batched_pairs = registry.counter(
+            "repro_server_coalesced_pairs_total",
+            "Probe pairs answered through coalesced engine batches")
+        self._latency = registry.histogram(
+            "repro_server_request_latency_seconds",
+            "Wall-clock latency of request handling, by endpoint")
+        self._inflight_gauge = registry.gauge(
+            "repro_server_inflight_pairs",
+            "Probe pairs enqueued or executing right now")
+        self._server: asyncio.AbstractServer | None = None
+        self._queue: asyncio.Queue[_ProbeItem] = asyncio.Queue()
+        self._inflight_pairs = 0
+        self._batcher_task: asyncio.Task | None = None
+        # Every VendGraphDB call happens on this one thread; see the
+        # module docstring for why that is the whole locking story.
+        self._db_executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="vend-db")
+        self._admission = AdmissionController(self.config.rate,
+                                              self.config.burst)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (after :meth:`start`)."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self._batcher_task = asyncio.ensure_future(self._batch_loop())
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port)
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._batcher_task is not None:
+            self._batcher_task.cancel()
+            try:
+                await self._batcher_task
+            except asyncio.CancelledError:
+                pass
+            self._batcher_task = None
+        self._db_executor.shutdown(wait=True)
+
+    # -- connection handling -----------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        peer = writer.get_extra_info("peername")
+        peer_id = peer[0] if isinstance(peer, tuple) else str(peer)
+        try:
+            while True:
+                try:
+                    request = await read_request(reader,
+                                                 self.config.max_body)
+                except ProtocolError as exc:
+                    payload = render_response(
+                        exc.status,
+                        _error_body(exc.status, exc.message),
+                        keep_alive=False)
+                    self._requests.inc(endpoint="malformed",
+                                       code=str(exc.status),
+                                       server=self._scope)
+                    writer.write(payload)
+                    await writer.drain()
+                    return
+                if request is None:
+                    return
+                start = time.perf_counter()
+                status, response = await self._dispatch(request, peer_id)
+                endpoint = (request.path
+                            if request.path in _KNOWN_PATHS else "unknown")
+                self._requests.inc(endpoint=endpoint, code=str(status),
+                                   server=self._scope)
+                self._latency.labels(
+                    endpoint=endpoint, server=self._scope,
+                ).observe(time.perf_counter() - start)
+                keep = request.header("connection").lower() != "close"
+                writer.write(response if keep else
+                             response.replace(b"keep-alive", b"close", 1))
+                await writer.drain()
+                if not keep:
+                    return
+        except (ConnectionResetError, BrokenPipeError, TimeoutError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, request: Request,
+                        peer_id: str) -> tuple[int, bytes]:
+        """Route one request; returns (status, rendered response)."""
+        try:
+            return await self._dispatch_inner(request, peer_id)
+        except Exception:  # the fuzz contract's last line of defense
+            logger.exception("unhandled error serving %s %s",
+                             request.method, request.path)
+            return 500, render_response(
+                500, _error_body(500, "internal server error"))
+
+    async def _dispatch_inner(self, request: Request,
+                              peer_id: str) -> tuple[int, bytes]:
+        path, method = request.path, request.method
+        if path not in _KNOWN_PATHS:
+            return 404, render_response(
+                404, _error_body(404, f"unknown path {path!r}"))
+        if (method, path) not in ENDPOINTS:
+            return 405, render_response(
+                405, _error_body(405, f"{method} not allowed on {path}"))
+
+        if path == "/healthz":
+            return self._handle_healthz()
+        if path == "/metrics":
+            body = default_registry().to_prometheus().encode("utf-8")
+            return 200, render_response(
+                200, body, content_type="text/plain; version=0.0.4")
+
+        # Serving endpoints: admission, backpressure, then the schema.
+        client = request.header("x-client-id") or peer_id
+        retry = self._admission.admit(client)
+        if retry > 0.0:
+            return self._reject(429, "admission",
+                                f"client {client!r} over rate limit", retry)
+        if self.db.degraded:
+            return self._reject(
+                429, "backpressure_degraded",
+                "storage layer is degraded; back off and retry",
+                self.config.degraded_retry_after)
+
+        payload, errors = _parse_json(request.body)
+        if errors is None:
+            errors = validate(ENDPOINTS[(method, path)], payload)
+        if not errors and path == "/v1/mutations":
+            for i, op in enumerate(payload["ops"]):
+                errors.extend(check_mutation_op(op, f"$.ops[{i}]"))
+        if errors:
+            self._rejected.inc(reason="invalid", server=self._scope)
+            return 400, render_response(
+                400, _error_body(400, "request does not match schema",
+                                 details=errors[:16]))
+
+        if path == "/v1/edges:probe":
+            return await self._handle_probe(payload, client)
+        if path == "/v1/neighbors":
+            return await self._handle_neighbors(payload)
+        return await self._handle_mutations(payload)
+
+    def _reject(self, status: int, reason: str, message: str,
+                retry_after: float) -> tuple[int, bytes]:
+        self._rejected.inc(reason=reason, server=self._scope)
+        body = _error_body(status, message, retry_after=retry_after)
+        return status, render_response(
+            status, body,
+            extra_headers={"Retry-After": f"{max(retry_after, 0.001):.3f}"})
+
+    # -- endpoint handlers -------------------------------------------------
+
+    def _handle_healthz(self) -> tuple[int, bytes]:
+        degraded = bool(self.db.degraded)
+        doc = {
+            "status": "degraded" if degraded else "ok",
+            "shards": self.db.num_shards,
+            "replicas": self.db.replicas,
+            "inflight_pairs": self._inflight_pairs,
+        }
+        status = 503 if degraded else 200
+        return status, render_response(status, _json_bytes(doc))
+
+    async def _handle_probe(self, payload: dict,
+                            client: str) -> tuple[int, bytes]:
+        pairs = payload["pairs"]
+        n = len(pairs)
+        if n == 0:
+            return 200, render_response(200, _json_bytes({"results": []}))
+        # Batch pricing: n pairs cost n tokens (one was already paid).
+        if n > 1:
+            retry = self._admission.admit(client, cost=float(n - 1))
+            if retry > 0.0:
+                return self._reject(
+                    429, "admission",
+                    f"batch of {n} pairs over client rate limit", retry)
+        if self._inflight_pairs + n > self.config.max_queue_pairs:
+            return self._reject(
+                429, "backpressure_queue",
+                f"probe queue full ({self._inflight_pairs} pairs in "
+                f"flight)", max(self.config.batch_window * 4, 0.01))
+        arr = np.asarray(pairs, dtype=np.int64)
+        item = _ProbeItem(us=arr[:, 0], vs=arr[:, 1],
+                          future=asyncio.get_running_loop().create_future())
+        self._inflight_pairs += n
+        self._inflight_gauge.labels(server=self._scope).set(
+            self._inflight_pairs)
+        await self._queue.put(item)
+        try:
+            results = await item.future
+        finally:
+            self._inflight_pairs -= n
+            self._inflight_gauge.labels(server=self._scope).set(
+                self._inflight_pairs)
+        doc = {"results": [bool(x) for x in results]}
+        return 200, render_response(200, _json_bytes(doc))
+
+    async def _handle_neighbors(self, payload: dict) -> tuple[int, bytes]:
+        vertex = payload["vertex"]
+        loop = asyncio.get_running_loop()
+        doc = await loop.run_in_executor(
+            self._db_executor, self._neighbors_on_db_thread, vertex)
+        return 200, render_response(200, _json_bytes(doc))
+
+    async def _handle_mutations(self, payload: dict) -> tuple[int, bytes]:
+        loop = asyncio.get_running_loop()
+        results = await loop.run_in_executor(
+            self._db_executor, self._mutations_on_db_thread,
+            payload["ops"])
+        return 200, render_response(200, _json_bytes({"results": results}))
+
+    # -- db-thread bodies --------------------------------------------------
+
+    def _neighbors_on_db_thread(self, vertex: int) -> dict:
+        if not self.db.has_vertex(vertex):
+            return {"vertex": vertex, "exists": False, "neighbors": []}
+        return {"vertex": vertex, "exists": True,
+                "neighbors": [int(u) for u in self.db.neighbors(vertex)]}
+
+    def _mutations_on_db_thread(self, ops: list[dict]) -> list[dict]:
+        out = []
+        for op in ops:
+            verb = op["op"]
+            if verb == "add_edge":
+                applied = self.db.add_edge(op["u"], op["v"])
+            elif verb == "remove_edge":
+                applied = self.db.remove_edge(op["u"], op["v"])
+            elif verb == "add_vertex":
+                applied = not self.db.has_vertex(op["v"])
+                if applied:
+                    self.db.add_vertex(op["v"])
+            else:  # remove_vertex — the schema admits no other verb
+                applied = self.db.remove_vertex(op["v"])
+            out.append({"op": verb, "applied": bool(applied)})
+        return out
+
+    def _probe_on_db_thread(self, batch: list[_ProbeItem]) -> list:
+        """Answer one coalesced batch with a single engine call.
+
+        Pairs touching vertices the store does not hold are answered
+        ``False`` here (an absent vertex has no edges) and masked out
+        *on the db thread*, after any in-flight mutation has finished —
+        the engine's storage probe raises on unknown keys by contract,
+        so unknown ids must never reach it.
+        """
+        us = np.concatenate([item.us for item in batch])
+        vs = np.concatenate([item.vs for item in batch])
+        n = len(us)
+        unique_ids = np.unique(np.concatenate([us, vs]))
+        known = {int(i) for i in unique_ids.tolist()
+                 if self.db.has_vertex(int(i))}
+        mask = np.fromiter(
+            (u in known and v in known
+             for u, v in zip(us.tolist(), vs.tolist())),
+            dtype=bool, count=n)
+        answers = np.zeros(n, dtype=bool)
+        if mask.any():
+            answers[mask] = self.db.has_edge_batch(us[mask], vs[mask])
+        self._batches.inc(server=self._scope)
+        self._batched_pairs.inc(n, server=self._scope)
+        # Slice the flat verdict array back per request, arrival order.
+        out, offset = [], 0
+        for item in batch:
+            out.append(answers[offset:offset + item.count])
+            offset += item.count
+        return out
+
+    # -- the micro-batcher -------------------------------------------------
+
+    async def _batch_loop(self) -> None:
+        """Coalesce queued probe requests into engine batch calls."""
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await self._queue.get()
+            batch = [item]
+            total = item.count
+            if self.config.batch_window > 0:
+                deadline = loop.time() + self.config.batch_window
+                while total < self.config.max_batch_pairs:
+                    timeout = deadline - loop.time()
+                    if timeout <= 0:
+                        break
+                    try:
+                        nxt = await asyncio.wait_for(self._queue.get(),
+                                                     timeout)
+                    except asyncio.TimeoutError:
+                        break
+                    batch.append(nxt)
+                    total += nxt.count
+            else:
+                while (total < self.config.max_batch_pairs
+                       and not self._queue.empty()):
+                    nxt = self._queue.get_nowait()
+                    batch.append(nxt)
+                    total += nxt.count
+            try:
+                results = await loop.run_in_executor(
+                    self._db_executor, self._probe_on_db_thread, batch)
+            except asyncio.CancelledError:
+                for pending in batch:
+                    if not pending.future.done():
+                        pending.future.cancel()
+                raise
+            except Exception as exc:
+                for pending in batch:
+                    if not pending.future.done():
+                        pending.future.set_exception(exc)
+            else:
+                for pending, result in zip(batch, results):
+                    if not pending.future.done():
+                        pending.future.set_result(result)
+
+
+# -- JSON plumbing ----------------------------------------------------------
+
+
+def _json_bytes(doc) -> bytes:
+    return json.dumps(doc, separators=(",", ":")).encode("utf-8")
+
+
+def _error_body(status: int, message: str, details: list[str] | None = None,
+                retry_after: float | None = None) -> bytes:
+    error: dict = {"code": status, "message": message}
+    if details:
+        error["details"] = details
+    if retry_after is not None:
+        error["retry_after"] = round(retry_after, 3)
+    return _json_bytes({"error": error})
+
+
+def _parse_json(body: bytes) -> tuple[object, list[str] | None]:
+    """Parse a request body; (value, None) or (None, [error])."""
+    if not body:
+        return None, ["$: request body is required"]
+    try:
+        return json.loads(body.decode("utf-8")), None
+    except UnicodeDecodeError:
+        return None, ["$: body is not valid UTF-8"]
+    except json.JSONDecodeError as exc:
+        return None, [f"$: body is not valid JSON ({exc.msg} at "
+                      f"offset {exc.pos})"]
+
+
+# -- threaded harness (tests, fuzzing, CLI) ---------------------------------
+
+
+class ServerHandle:
+    """A running server on a background event-loop thread."""
+
+    def __init__(self, server: VendServer, loop: asyncio.AbstractEventLoop,
+                 thread: threading.Thread):
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.server.config.host}:{self.server.port}"
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.server.config.host, self.server.port
+
+    def stop(self) -> None:
+        """Stop the server and join the loop thread (idempotent)."""
+        if not self._thread.is_alive():
+            return
+        asyncio.run_coroutine_threadsafe(self.server.stop(),
+                                         self._loop).result(timeout=30)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=30)
+        self._loop.close()
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def serve_in_thread(db, config: ServerConfig | None = None,
+                    registry=None) -> ServerHandle:
+    """Start a :class:`VendServer` on a dedicated event-loop thread.
+
+    Returns once the listening socket is bound, so ``handle.url`` is
+    immediately connectable.  The caller owns ``db`` — :meth:`stop`
+    does not close it.
+    """
+    server = VendServer(db, config, registry=registry)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+    startup_error: list[BaseException] = []
+
+    def run() -> None:
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(server.start())
+        except BaseException as exc:  # surface bind errors to the caller
+            startup_error.append(exc)
+            started.set()
+            return
+        started.set()
+        loop.run_forever()
+        # Drain cancellations scheduled by stop() before the join.
+        pending = asyncio.all_tasks(loop)
+        for task in pending:
+            task.cancel()
+        if pending:
+            loop.run_until_complete(
+                asyncio.gather(*pending, return_exceptions=True))
+
+    thread = threading.Thread(target=run, name="vend-server", daemon=True)
+    thread.start()
+    if not started.wait(timeout=30):
+        raise RuntimeError("server failed to start within 30s")
+    if startup_error:
+        thread.join(timeout=5)
+        raise startup_error[0]
+    return ServerHandle(server, loop, thread)

@@ -1,0 +1,167 @@
+"""Minimal HTTP/1.1 framing over asyncio streams.
+
+No framework, no dependency: the server needs exactly request-line +
+headers + Content-Length body parsing with hard limits, keep-alive,
+and response rendering.  Everything a client can get wrong maps to a
+:class:`ProtocolError` carrying the 4xx status the connection handler
+should answer with — malformed framing is a *client* error and must
+never surface as a 5xx (the fuzz harness asserts this end to end).
+
+Limits (all pre-body, so a hostile client cannot make us buffer
+unbounded data): request line ≤ 8 KiB, ≤ 100 header lines of ≤ 8 KiB,
+body ≤ ``max_body`` bytes (413 beyond it).  ``Transfer-Encoding`` is
+not implemented and is rejected as a 411 (length required) rather
+than silently misframing the stream.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+__all__ = ["Request", "ProtocolError", "read_request", "render_response",
+           "STATUS_REASONS"]
+
+_MAX_REQUEST_LINE = 8192
+_MAX_HEADER_LINE = 8192
+_MAX_HEADERS = 100
+
+STATUS_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    411: "Length Required",
+    413: "Payload Too Large",
+    415: "Unsupported Media Type",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ProtocolError(Exception):
+    """Unparseable or over-limit request framing (always a 4xx)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+
+async def _read_line(reader: asyncio.StreamReader, limit: int,
+                     what: str) -> bytes:
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            raise EOFError from exc  # clean connection close
+        raise ProtocolError(400, f"truncated {what}") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise ProtocolError(400, f"{what} exceeds limit") from exc
+    if len(line) > limit:
+        raise ProtocolError(400, f"{what} exceeds {limit} bytes")
+    return line[:-2]
+
+
+async def read_request(reader: asyncio.StreamReader,
+                       max_body: int) -> Request | None:
+    """Parse one request; None on clean EOF before any bytes."""
+    try:
+        raw = await _read_line(reader, _MAX_REQUEST_LINE, "request line")
+    except EOFError:
+        return None
+    if not raw:
+        # Tolerate one blank line between pipelined requests.
+        try:
+            raw = await _read_line(reader, _MAX_REQUEST_LINE, "request line")
+        except EOFError:
+            return None
+    parts = raw.split(b" ")
+    if len(parts) != 3:
+        raise ProtocolError(400, "malformed request line")
+    method_b, target_b, version = parts
+    if version not in (b"HTTP/1.1", b"HTTP/1.0"):
+        raise ProtocolError(400, f"unsupported version "
+                                 f"{version.decode('latin-1')!r}")
+    try:
+        method = method_b.decode("ascii")
+        target = target_b.decode("ascii")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(400, "non-ascii request line") from exc
+
+    headers: dict[str, str] = {}
+    for _ in range(_MAX_HEADERS + 1):
+        try:
+            line = await _read_line(reader, _MAX_HEADER_LINE, "header")
+        except EOFError as exc:
+            raise ProtocolError(400, "truncated headers") from exc
+        if not line:
+            break
+        if len(headers) >= _MAX_HEADERS:
+            raise ProtocolError(400, "too many headers")
+        name, sep, value = line.partition(b":")
+        if not sep:
+            raise ProtocolError(400, "malformed header line")
+        try:
+            headers[name.decode("ascii").strip().lower()] = (
+                value.decode("latin-1").strip())
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(400, "non-ascii header name") from exc
+    else:
+        raise ProtocolError(400, "unterminated header block")
+
+    if "transfer-encoding" in headers:
+        raise ProtocolError(411, "transfer-encoding is not supported; "
+                                 "send Content-Length")
+    body = b""
+    length_raw = headers.get("content-length")
+    if length_raw is not None:
+        try:
+            length = int(length_raw)
+        except ValueError as exc:
+            raise ProtocolError(400, "malformed Content-Length") from exc
+        if length < 0:
+            raise ProtocolError(400, "negative Content-Length")
+        if length > max_body:
+            raise ProtocolError(413, f"body of {length} bytes exceeds "
+                                     f"the {max_body}-byte limit")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise ProtocolError(400, "truncated body") from exc
+
+    # Strip any query string: routes are exact paths.
+    path = target.split("?", 1)[0]
+    return Request(method=method, path=path, headers=headers, body=body)
+
+
+def render_response(status: int, body: bytes,
+                    content_type: str = "application/json",
+                    extra_headers: dict[str, str] | None = None,
+                    keep_alive: bool = True) -> bytes:
+    """Serialize one HTTP/1.1 response."""
+    reason = STATUS_REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+    return head + body

@@ -1,0 +1,199 @@
+"""Declarative request schemas for every server endpoint.
+
+One schema language serves two masters:
+
+- the server validates every request body against these dicts before a
+  byte of graph machinery runs (:func:`validate` returns a list of
+  structured error strings → HTTP 400, never a 5xx);
+- the fuzz harness (:mod:`repro.devtools.fuzz`) *generates* from the
+  same dicts — hypothesis strategies for valid payloads, and targeted
+  mutations for invalid ones — so the schema is simultaneously the
+  contract and the attack surface description (the schemathesis idea,
+  scaled to the five endpoints we serve).
+
+The language is deliberately tiny: ``int`` (``min``/``max``),
+``string`` (``enum``), ``bool``, ``array`` (``items``, ``min_items``,
+``max_items``), ``object`` (``fields``, each marked ``required`` or
+optional; unknown fields are rejected).  Cross-field rules that a
+per-field walk cannot express (mutation ops needing ``u != v``) live
+in :func:`check_mutation_op`, which the server applies after
+:func:`validate` and the fuzzer treats as part of validity.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "MAX_VERTEX_ID",
+    "MAX_PROBE_PAIRS",
+    "MAX_MUTATION_OPS",
+    "ENDPOINTS",
+    "SchemaError",
+    "validate",
+    "check_mutation_op",
+    "MUTATION_OPS",
+]
+
+
+class SchemaError(ValueError):
+    """A schema definition (not a payload) is malformed."""
+
+
+#: Vertex ids are non-negative and bounded so they always fit the
+#: int64 endpoint arrays of the batch pipeline.
+MAX_VERTEX_ID = 2**62
+
+#: Per-request batch bounds: a cheap, schema-visible admission rule
+#: (oversized arrays are a 400, not an OOM).
+MAX_PROBE_PAIRS = 4096
+MAX_MUTATION_OPS = 1024
+
+#: Mutation verbs accepted by ``/v1/mutations``.
+MUTATION_OPS = ("add_edge", "remove_edge", "add_vertex", "remove_vertex")
+
+VERTEX_ID = {"type": "int", "min": 0, "max": MAX_VERTEX_ID}
+
+PAIR = {
+    "type": "array",
+    "items": VERTEX_ID,
+    "min_items": 2,
+    "max_items": 2,
+}
+
+PROBE_REQUEST = {
+    "type": "object",
+    "fields": {
+        "pairs": {
+            "type": "array",
+            "items": PAIR,
+            "min_items": 0,
+            "max_items": MAX_PROBE_PAIRS,
+            "required": True,
+        },
+    },
+}
+
+NEIGHBORS_REQUEST = {
+    "type": "object",
+    "fields": {
+        "vertex": {**VERTEX_ID, "required": True},
+    },
+}
+
+MUTATION_OP = {
+    "type": "object",
+    "fields": {
+        "op": {"type": "string", "enum": MUTATION_OPS, "required": True},
+        "u": dict(VERTEX_ID),
+        "v": dict(VERTEX_ID),
+    },
+}
+
+MUTATIONS_REQUEST = {
+    "type": "object",
+    "fields": {
+        "ops": {
+            "type": "array",
+            "items": MUTATION_OP,
+            "min_items": 1,
+            "max_items": MAX_MUTATION_OPS,
+            "required": True,
+        },
+    },
+}
+
+#: ``(method, path) -> request schema`` (None: no body expected).
+ENDPOINTS: dict[tuple[str, str], dict | None] = {
+    ("POST", "/v1/edges:probe"): PROBE_REQUEST,
+    ("POST", "/v1/neighbors"): NEIGHBORS_REQUEST,
+    ("POST", "/v1/mutations"): MUTATIONS_REQUEST,
+    ("GET", "/healthz"): None,
+    ("GET", "/metrics"): None,
+}
+
+
+def validate(schema: dict, value, path: str = "$") -> list[str]:
+    """Walk ``value`` against ``schema``; return every violation.
+
+    Errors are human-readable strings anchored with a JSONPath-style
+    locator so a fuzz failure names the exact field.  An empty list
+    means the payload conforms.
+    """
+    kind = schema.get("type")
+    if kind == "int":
+        # bool is an int subclass; a JSON true is not a vertex id.
+        if not isinstance(value, int) or isinstance(value, bool):
+            return [f"{path}: expected integer, got {_name(value)}"]
+        errors = []
+        if "min" in schema and value < schema["min"]:
+            errors.append(f"{path}: {value} < minimum {schema['min']}")
+        if "max" in schema and value > schema["max"]:
+            errors.append(f"{path}: {value} > maximum {schema['max']}")
+        return errors
+    if kind == "string":
+        if not isinstance(value, str):
+            return [f"{path}: expected string, got {_name(value)}"]
+        enum = schema.get("enum")
+        if enum is not None and value not in enum:
+            return [f"{path}: {value!r} not one of {list(enum)}"]
+        return []
+    if kind == "bool":
+        if not isinstance(value, bool):
+            return [f"{path}: expected boolean, got {_name(value)}"]
+        return []
+    if kind == "array":
+        if not isinstance(value, list):
+            return [f"{path}: expected array, got {_name(value)}"]
+        errors = []
+        n = len(value)
+        if "min_items" in schema and n < schema["min_items"]:
+            errors.append(f"{path}: {n} items < minimum "
+                          f"{schema['min_items']}")
+        if "max_items" in schema and n > schema["max_items"]:
+            errors.append(f"{path}: {n} items > maximum "
+                          f"{schema['max_items']}")
+            return errors  # don't walk a deliberately huge payload
+        items = schema.get("items")
+        if items is not None:
+            for i, item in enumerate(value):
+                errors.extend(validate(items, item, f"{path}[{i}]"))
+        return errors
+    if kind == "object":
+        if not isinstance(value, dict):
+            return [f"{path}: expected object, got {_name(value)}"]
+        errors = []
+        fields = schema.get("fields", {})
+        for name, sub in fields.items():
+            if name not in value:
+                if sub.get("required"):
+                    errors.append(f"{path}: missing required field "
+                                  f"{name!r}")
+                continue
+            errors.extend(validate(sub, value[name], f"{path}.{name}"))
+        for name in value:
+            if name not in fields:
+                errors.append(f"{path}: unknown field {name!r}")
+        return errors
+    raise SchemaError(f"unknown schema type {kind!r} at {path}")
+
+
+def check_mutation_op(op: dict, path: str = "$") -> list[str]:
+    """Cross-field rules for one (already field-valid) mutation op."""
+    verb = op.get("op")
+    errors = []
+    if verb in ("add_edge", "remove_edge"):
+        for field in ("u", "v"):
+            if field not in op:
+                errors.append(f"{path}: {verb} requires field {field!r}")
+        if not errors and op["u"] == op["v"]:
+            errors.append(f"{path}: self loops are not allowed "
+                          f"(u == v == {op['u']})")
+    elif verb in ("add_vertex", "remove_vertex"):
+        if "v" not in op:
+            errors.append(f"{path}: {verb} requires field 'v'")
+        if "u" in op:
+            errors.append(f"{path}: {verb} does not take field 'u'")
+    return errors
+
+
+def _name(value) -> str:
+    return type(value).__name__

@@ -77,6 +77,17 @@ class FaultConfig:
     max_retries: int = 3
     backoff_base: float = 0.0   # 0 keeps tests fast; real deployments > 0
     backoff_factor: float = 2.0
+    #: Hard ceiling on any single backoff sleep.  Without it the
+    #: exponential schedule is unbounded — at factor 2 a shared-fault
+    #: burst can park every client in multi-second sleeps.
+    backoff_max: float = 0.25
+    #: Full jitter (AWS-style): each sleep is uniform in
+    #: ``[0, min(backoff_max, base * factor**n)]``, drawn from a
+    #: dedicated RNG derived from ``seed`` so retry pacing is
+    #: reproducible under ``$REPRO_FAULT_SEED`` *and* does not perturb
+    #: the fault-injection dice.  Disable for fixed deterministic
+    #: delays (the pre-jitter behavior).
+    jitter: bool = True
 
     @classmethod
     def from_env(cls, **overrides) -> "FaultConfig":
@@ -102,6 +113,11 @@ class FaultInjectingKVStore:
         self._inner = inner
         self.config = config or FaultConfig()
         self._rng = Random(self.config.seed)
+        # Separate stream: jitter draws must not advance the fault
+        # dice, or enabling backoff would change which operations fail.
+        seed = self.config.seed
+        self._backoff_rng = Random(
+            None if seed is None else seed ^ 0x9E3779B9)
         self.fault_stats = FaultStats()
         self.degraded = False
         self._crashed = False
@@ -151,10 +167,29 @@ class FaultInjectingKVStore:
         if seconds > 0:
             time.sleep(seconds)
 
+    def _backoff_delay(self, try_no: int) -> float:
+        """Sleep before retry ``try_no``: capped exponential, full jitter.
+
+        The uncapped, jitterless schedule this replaces had both
+        retry-storm failure modes: no ceiling (sleeps grow without
+        bound) and lockstep synchronization (every client that saw the
+        same shared fault retried at the same instant, re-colliding on
+        each round).  The cap bounds the worst sleep at
+        ``backoff_max``; full jitter decorrelates the herd while
+        keeping the *expected* pacing exponential.
+        """
+        cfg = self.config
+        delay = cfg.backoff_base * (cfg.backoff_factor ** try_no)
+        delay = min(delay, cfg.backoff_max)
+        if delay <= 0:
+            return 0.0
+        if cfg.jitter:
+            return self._backoff_rng.uniform(0.0, delay)
+        return delay
+
     def _with_retries(self, attempt):
-        """Run ``attempt`` with exponential backoff on ``OSError``."""
+        """Run ``attempt`` with capped, jittered backoff on ``OSError``."""
         self.fault_stats.inc("operations")
-        delay = self.config.backoff_base
         for try_no in range(self.config.max_retries + 1):
             try:
                 return attempt()
@@ -164,8 +199,7 @@ class FaultInjectingKVStore:
                     self.fault_stats.inc("gave_up")
                     raise
                 self.fault_stats.inc("retries")
-                self._sleep(delay)
-                delay *= self.config.backoff_factor
+                self._sleep(self._backoff_delay(try_no))
         raise AssertionError("unreachable: the final retry re-raises")
 
     def _maybe_fail_read(self) -> None:

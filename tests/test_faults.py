@@ -96,10 +96,31 @@ def test_write_retries_keep_store_consistent(tmp_path):
             assert reopened.get(key) == bytes([key % 251]) * 16
 
 
+def _sleeps_for(config) -> list[float]:
+    """Drive a read to exhaustion, capturing every backoff delay."""
+    inner = InMemoryKVStore()
+    inner.put(1, b"x")
+    store = FaultInjectingKVStore(inner, config)
+    slept: list[float] = []
+    original = store._backoff_delay
+
+    def capture(try_no):
+        delay = original(try_no)
+        slept.append(delay)
+        return delay
+
+    store._backoff_delay = capture
+    store._sleep = lambda _seconds: None
+    with pytest.raises(InjectedIOError):
+        store.get(1)
+    assert len(slept) == config.max_retries
+    return slept
+
+
 def test_backoff_waits_between_retries(tmp_path):
     config = FaultConfig.from_env(
         read_error_rate=1.0, max_retries=2,
-        backoff_base=0.01, backoff_factor=2.0,
+        backoff_base=0.01, backoff_factor=2.0, jitter=False,
     )
     inner = DiskKVStore(tmp_path / "db.log")
     inner.put(1, b"x")
@@ -109,6 +130,65 @@ def test_backoff_waits_between_retries(tmp_path):
         store.get(1)
     assert time.perf_counter() - start >= 0.03  # 0.01 + 0.02
     store.close()
+
+
+def test_backoff_is_capped_by_backoff_max():
+    config = FaultConfig.from_env(
+        read_error_rate=1.0, max_retries=8,
+        backoff_base=0.01, backoff_factor=2.0, backoff_max=0.05,
+        jitter=False,
+    )
+    slept = _sleeps_for(config)
+    # Uncapped the schedule would reach 0.01 * 2**7 = 1.28s; every
+    # sleep must now sit at min(schedule, cap).
+    assert slept == [0.01, 0.02, 0.04, 0.05, 0.05, 0.05, 0.05, 0.05]
+
+
+def test_backoff_jitter_stays_within_envelope_and_varies():
+    config = FaultConfig.from_env(
+        seed=5, read_error_rate=1.0, max_retries=8,
+        backoff_base=0.01, backoff_factor=2.0, backoff_max=0.05,
+    )
+    slept = _sleeps_for(config)
+    schedule = [min(0.01 * 2.0 ** n, 0.05) for n in range(8)]
+    for actual, bound in zip(slept, schedule):
+        assert 0.0 <= actual <= bound
+    # Full jitter must actually decorrelate: sleeps are not all equal
+    # to the deterministic schedule (probability ~0 for a real RNG).
+    assert slept != schedule
+
+
+def test_backoff_jitter_is_seed_deterministic():
+    def run(seed):
+        return _sleeps_for(FaultConfig(
+            seed=seed, read_error_rate=1.0, max_retries=5,
+            backoff_base=0.001, backoff_factor=2.0,
+        ))
+
+    assert run(7) == run(7)
+    assert run(7) != run(8)
+
+
+def test_jitter_draws_do_not_perturb_fault_dice():
+    """Enabling backoff must not change *which* operations fail."""
+    def failure_pattern(backoff_base):
+        inner = InMemoryKVStore()
+        inner.put(1, b"x")
+        store = FaultInjectingKVStore(inner, FaultConfig(
+            seed=11, read_error_rate=0.5, max_retries=0,
+            backoff_base=backoff_base,
+        ))
+        store._sleep = lambda _s: None
+        pattern = []
+        for _ in range(64):
+            try:
+                store.get(1)
+                pattern.append(True)
+            except InjectedIOError:
+                pattern.append(False)
+        return pattern
+
+    assert failure_pattern(0.0) == failure_pattern(0.01)
 
 
 def test_latency_injection(tmp_path):

@@ -1,0 +1,238 @@
+"""The fuzz harness's own tests: schema-driven generation, the shadow
+ground truth, end-to-end runs, and proof that a planted soundness bug
+is actually detected (a fuzzer that cannot fail is not a fuzzer).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.apps import VendGraphDB
+from repro.devtools.fuzz import (
+    DEFAULT_UNIVERSE,
+    FuzzReport,
+    PoisonedFilter,
+    ShadowGraph,
+    _corruptions,
+    check_exact_metrics,
+    run_fuzz,
+    strategy_for,
+    valid_mutation_ops,
+)
+from repro.graph import Graph
+from repro.server import ServerConfig, serve_in_thread
+from repro.server.schemas import (
+    ENDPOINTS,
+    MUTATIONS_REQUEST,
+    NEIGHBORS_REQUEST,
+    PROBE_REQUEST,
+    check_mutation_op,
+    validate,
+)
+
+
+def empty_db(**kwargs) -> VendGraphDB:
+    kwargs.setdefault("k", 3)
+    db = VendGraphDB(**kwargs)
+    db.load_graph(Graph())
+    return db
+
+
+# -- schema-driven generation ------------------------------------------------
+
+
+class TestStrategies:
+    @pytest.mark.parametrize("schema", [PROBE_REQUEST, NEIGHBORS_REQUEST,
+                                        MUTATIONS_REQUEST])
+    def test_generated_payloads_satisfy_their_schema(self, schema):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        vertex_ids = st.integers(min_value=0, max_value=9)
+
+        @settings(max_examples=50, database=None, deadline=None)
+        @given(payload=strategy_for(schema, vertex_ids))
+        def check(payload):
+            assert validate(schema, payload) == []
+
+        check()
+
+    def test_valid_mutation_ops_pass_cross_field_rules(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        vertex_ids = st.integers(min_value=0, max_value=9)
+
+        @settings(max_examples=50, database=None, deadline=None)
+        @given(op=valid_mutation_ops(vertex_ids))
+        def check(op):
+            from repro.server.schemas import MUTATION_OP
+            assert validate(MUTATION_OP, op) == []
+            assert check_mutation_op(op) == []
+
+        check()
+
+    def test_unknown_schema_type_raises(self):
+        with pytest.raises(ValueError):
+            strategy_for({"type": "quaternion"})
+
+    def test_every_corruption_is_actually_invalid(self):
+        """Each corruption must fail parsing, schema validation, or the
+        cross-field rules — otherwise the fuzzer would book a spurious
+        ``bad_status`` when the server rightly answers 200."""
+        for path, body in _corruptions(DEFAULT_UNIVERSE):
+            schema = ENDPOINTS[("POST", path)]
+            try:
+                doc = json.loads(body.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                continue  # unparseable: invalid by definition
+            errors = validate(schema, doc)
+            if not errors and path == "/v1/mutations":
+                for op in doc["ops"]:
+                    errors.extend(check_mutation_op(op))
+            assert errors, f"corruption {body[:60]!r} validates cleanly"
+
+
+# -- the shadow --------------------------------------------------------------
+
+
+class TestShadowGraph:
+    def test_mirrors_edge_and_vertex_ops(self):
+        shadow = ShadowGraph()
+        shadow.apply({"op": "add_edge", "u": 1, "v": 2})
+        shadow.apply({"op": "add_edge", "u": 2, "v": 3})
+        assert shadow.has_edge(1, 2) and shadow.has_edge(2, 1)
+        assert not shadow.has_edge(1, 3)
+        shadow.apply({"op": "remove_vertex", "v": 2})
+        assert not shadow.has_edge(1, 2)
+        assert not shadow.has_edge(3, 2)
+        assert sorted(shadow.edges()) == []
+
+    def test_remove_edge_is_idempotent(self):
+        shadow = ShadowGraph()
+        shadow.apply({"op": "remove_edge", "u": 5, "v": 6})
+        assert not shadow.has_edge(5, 6)
+
+    def test_rejects_unknown_verbs(self):
+        with pytest.raises(ValueError):
+            ShadowGraph().apply({"op": "detonate", "v": 1})
+
+
+# -- report semantics --------------------------------------------------------
+
+
+class TestFuzzReport:
+    def test_ok_flips_on_any_bucket(self):
+        report = FuzzReport(seed=0)
+        assert report.ok
+        report.book("false_no_edge", "edge (1, 2) denied")
+        assert not report.ok
+        assert "1 false no-edge" in report.summary()
+        assert "edge (1, 2) denied" in report.details()
+
+    def test_booking_is_capped(self):
+        report = FuzzReport(seed=0)
+        for i in range(100):
+            report.book("server_errors", f"boom {i}", cap=25)
+        assert len(report.server_errors) == 25
+
+
+# -- end to end --------------------------------------------------------------
+
+
+class TestRunFuzz:
+    def test_clean_server_fuzzes_clean(self):
+        db = empty_db(shards=2)
+        handle = serve_in_thread(db, ServerConfig())
+        try:
+            host, port = handle.address
+            report = run_fuzz(host, port, seed=11, examples=10,
+                              clients=6, per_client=6, universe=10,
+                              check_metrics=True)
+            assert report.ok, report.details()
+            assert report.examples == 10
+            assert report.requests > 50
+        finally:
+            handle.stop()
+            db.close()
+
+    def test_poisoned_filter_is_caught(self):
+        """Plant the exact bug class the harness exists for — a filter
+        that falsely certifies one real edge as a non-edge — and
+        assert the fuzz run reports it as a false no-edge verdict."""
+        db = empty_db()
+        handle = serve_in_thread(db, ServerConfig())
+        try:
+            host, port = handle.address
+            db.add_vertex(1)
+            db.add_vertex(2)
+            db.add_edge(1, 2)
+            shadow = ShadowGraph()
+            shadow.apply({"op": "add_edge", "u": 1, "v": 2})
+            db._engine.nonedge_filter = PoisonedFilter(db.vend, (1, 2))
+            report = run_fuzz(host, port, seed=5, examples=0,
+                              clients=4, per_client=12, universe=4,
+                              shadow=shadow)
+            assert not report.ok
+            assert report.false_no_edge, report.summary()
+            assert any(pair in report.false_no_edge[0]
+                       for pair in ("(1, 2)", "(2, 1)"))
+        finally:
+            handle.stop()
+            db.close()
+
+    def test_sequential_phase_alone_catches_poison(self):
+        db = empty_db()
+        handle = serve_in_thread(db, ServerConfig())
+        try:
+            host, port = handle.address
+            db.add_vertex(0)
+            db.add_vertex(1)
+            db.add_edge(0, 1)
+            shadow = ShadowGraph()
+            shadow.apply({"op": "add_edge", "u": 0, "v": 1})
+            db._engine.nonedge_filter = PoisonedFilter(db.vend, (0, 1))
+            report = run_fuzz(host, port, seed=9, examples=15,
+                              clients=0, per_client=0, universe=3,
+                              shadow=shadow)
+            assert report.false_no_edge
+        finally:
+            handle.stop()
+            db.close()
+
+    def test_check_metrics_flags_drift(self):
+        """check_exact_metrics books nothing against an honest server
+        (covered above); here its parser survives an empty target."""
+        report = FuzzReport(seed=0)
+        db = empty_db()
+        handle = serve_in_thread(db, ServerConfig())
+        try:
+            host, port = handle.address
+            check_exact_metrics(host, port, report, probes=3)
+            assert report.ok, report.details()
+        finally:
+            handle.stop()
+            db.close()
+
+    def test_seed_determinism_of_sequential_phase(self):
+        """Same seed → same request count and example count (the CI
+        replay contract); the graph the run leaves behind is equal."""
+        outcomes = []
+        for _ in range(2):
+            db = empty_db()
+            handle = serve_in_thread(db, ServerConfig())
+            try:
+                host, port = handle.address
+                shadow = ShadowGraph()
+                report = run_fuzz(host, port, seed=21, examples=12,
+                                  clients=0, per_client=0, universe=8,
+                                  shadow=shadow)
+                assert report.ok, report.details()
+                outcomes.append((report.examples, report.requests,
+                                 sorted(shadow.edges())))
+            finally:
+                handle.stop()
+                db.close()
+        assert outcomes[0] == outcomes[1]

@@ -424,3 +424,105 @@ class TestCounterInvariants:
             # Scalar path never dedups: provenance is exact per query.
             assert stats.cache_served + stats.disk_served == stats.executed
         assert stats.positives <= stats.executed
+
+
+class TestExactExposition:
+    """Regression: ``%g`` rendering corrupted large/precise values."""
+
+    def test_large_counter_exports_exactly(self):
+        registry = MetricsRegistry()
+        value = 2**24 + 12_345_679  # %g would render 2.91229e+07
+        registry.counter("repro_big_total").labels(store="s0").inc(value)
+        text = registry.to_prometheus()
+        assert f'repro_big_total{{store="s0"}} {value}' in text
+        assert "e+" not in text
+
+    def test_integer_counters_never_use_scientific_notation(self):
+        registry = MetricsRegistry()
+        for exp in (24, 31, 53, 60):
+            registry.counter("repro_pow_total").labels(
+                e=str(exp)).inc(2**exp + 1)
+        for line in registry.to_prometheus().splitlines():
+            if line.startswith("repro_pow_total"):
+                value = line.rsplit(" ", 1)[1]
+                assert value == str(int(value))
+
+    def test_float_sum_exports_full_precision(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_t_seconds", buckets=(1.0,))
+        series = hist.labels(engine="e0")
+        for value in (0.1, 0.2, 1e-9):
+            series.observe(value)
+        text = registry.to_prometheus()
+        line = next(ln for ln in text.splitlines()
+                    if ln.startswith("repro_t_seconds_sum"))
+        exported = float(line.rsplit(" ", 1)[1])
+        assert exported == 0.1 + 0.2 + 1e-9  # bit-exact round trip
+
+    def test_float_counter_round_trips_via_repr(self):
+        registry = MetricsRegistry()
+        elapsed = 12345.678912345678
+        registry.counter("repro_el_seconds_total").labels(
+            engine="e0").inc(elapsed)
+        text = registry.to_prometheus()
+        line = next(ln for ln in text.splitlines()
+                    if ln.startswith("repro_el_seconds_total"))
+        assert float(line.rsplit(" ", 1)[1]) == elapsed
+
+
+class TestScrapeConsistency:
+    """A scrape racing live updates must see coherent histograms."""
+
+    def _parse(self, text):
+        samples = {}
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            name, value = line.rsplit(" ", 1)
+            samples[name] = float(value)
+        return samples
+
+    def test_threaded_hammer_never_sees_count_ahead_of_sum(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_h_seconds", buckets=(0.5, 1.5))
+        series = hist.labels(engine="e0")
+        stop = threading.Event()
+        failures = []
+
+        def observer():
+            while not stop.is_set():
+                series.observe(1.0)
+
+        def scraper():
+            while not stop.is_set():
+                samples = self._parse(registry.to_prometheus())
+                count = samples['repro_h_seconds_count{engine="e0"}']
+                total = samples['repro_h_seconds_sum{engine="e0"}']
+                inf = samples['repro_h_seconds_bucket{engine="e0",le="+Inf"}']
+                mid = samples['repro_h_seconds_bucket{engine="e0",le="1.5"}']
+                # Every observation is exactly 1.0, so a coherent
+                # snapshot has sum == count == every cumulative bucket
+                # from le=1.5 up.  Any drift is a torn scrape.
+                if not (total == count == inf == mid):
+                    failures.append((total, count, mid, inf))
+
+        threads = [threading.Thread(target=observer) for _ in range(3)]
+        threads += [threading.Thread(target=scraper) for _ in range(2)]
+        for t in threads:
+            t.start()
+        import time as _time
+        _time.sleep(0.5)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert series.count > 1000, "hammer made no progress"
+        assert not failures, f"torn scrapes observed: {failures[:5]}"
+
+    def test_snapshot_histogram_fields_are_coherent(self):
+        registry = MetricsRegistry()
+        series = registry.histogram("repro_s_seconds",
+                                    buckets=(1.0,)).labels(x="0")
+        series.observe(2.0)
+        snap = registry.snapshot()
+        assert snap['repro_s_seconds_sum{x="0"}'] == 2.0
+        assert snap['repro_s_seconds_count{x="0"}'] == 1
