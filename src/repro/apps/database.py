@@ -43,6 +43,12 @@ class VendGraphDB:
     cache_bytes:
         Block-cache size for the store — the total budget, split across
         the shard-local caches when sharded.
+    hot_cache_bytes:
+        Decoded-blob hot-cache budget (total, split per shard like
+        ``cache_bytes``).  Stats-transparent — verdicts and counters
+        are bitwise identical hot-on/off — and compatible with every
+        executor (process workers build their own reader-side caches).
+        Requires a disk-backed path; ignored for in-memory stores.
     shards, workers:
         ``shards > 1`` switches storage to a hash-partitioned
         :class:`~repro.storage.ShardedGraphStore` and the query path to
@@ -80,7 +86,7 @@ class VendGraphDB:
                  id_bits: int | None = None, shards: int = 1,
                  workers: int | None = None, compress: bool = False,
                  use_mmap: bool = False, executor: str = "thread",
-                 replicas: int = 0):
+                 replicas: int = 0, hot_cache_bytes: int = 0):
         if method not in _METHODS:
             raise ValueError(f"method must be one of {sorted(_METHODS)}")
         if shards < 1:
@@ -99,13 +105,15 @@ class VendGraphDB:
                                            cache_bytes=cache_bytes,
                                            compress=compress,
                                            use_mmap=use_mmap,
-                                           replicas=replicas)
+                                           replicas=replicas,
+                                           hot_cache_bytes=hot_cache_bytes)
             self._engine = ParallelEdgeQueryEngine(self.store, self.vend,
                                                    workers=workers,
                                                    executor=executor)
         else:
             self.store = GraphStore(path, cache_bytes=cache_bytes,
-                                    compress=compress, use_mmap=use_mmap)
+                                    compress=compress, use_mmap=use_mmap,
+                                    hot_cache_bytes=hot_cache_bytes)
             self._engine = EdgeQueryEngine(self.store, self.vend)
         self.db_stats = DatabaseStats()
         self._built = False
@@ -297,6 +305,19 @@ class VendGraphDB:
     def degraded(self) -> bool:
         """True when the storage layer reported IO faults (faults.py)."""
         return self.store.degraded
+
+    def hot_caches(self) -> list:
+        """Per-segment decoded-blob hot caches (empty when disabled).
+
+        The handle an :class:`~repro.storage.tuning.AdaptiveTuner`
+        samples and resizes; also used by benchmarks to report hit
+        rates.
+        """
+        caches = getattr(self.store, "hot_caches", None)
+        if caches is not None:
+            return caches()
+        one = getattr(self.store, "hot_cache", None)
+        return [one] if one is not None else []
 
     def index_memory_bytes(self) -> int:
         return self.vend.memory_bytes()

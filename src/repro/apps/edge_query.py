@@ -317,6 +317,13 @@ class ParallelEdgeQueryEngine(EdgeQueryEngine):
         dice rolls cannot be replicated across processes.  Replicated
         segments are rejected for the same reason: failover is
         coordinator-side state workers cannot observe.
+
+        The decoded-blob **hot cache** is deliberately allowed: it is
+        stats-transparent (hits book the same logical reads a cold
+        read would), and process mode serves it worker-side — each
+        ``MappedShardReader`` builds its own from the published
+        ``hot_cache_bytes`` budget, rebuilt (cold) whenever a
+        mutation-driven republish retires the old reader.
         """
         if getattr(store, "num_replicas", 0):
             raise ValueError(

@@ -19,11 +19,17 @@ Commands cover the basic operational loop of a VEND deployment:
   failover + online-reshard sweep over a replicated store;
 - ``stats`` — run a seeded end-to-end workload and export every
   counter from the metrics registry (text, ``--json``, or
-  ``--prometheus``);
+  ``--prometheus``); ``--filter PREFIX`` restricts the export to
+  metric families whose name starts with ``PREFIX``;
 - ``trace`` — the same workload with the span tracer enabled,
   printing the ``query → ndf_filter → storage_get → cache`` trees;
 - ``bench`` — batched-query throughput, serial single-file engine vs
   the shard-parallel engine, with ``--check-speedup`` as a CI gate;
+  ``--workload`` selects the probe mix (``random``/``edges`` pair
+  batches, or the streaming ``zipfian``/``churn``/``mixed`` kinds from
+  :mod:`repro.workloads`), and ``--check-hot-speedup`` gates the
+  hot-set decode cache (``--hot-cache-bytes``) against a cold run of
+  the same configuration;
 - ``serve`` — the asyncio HTTP/JSON edge-query server (DESIGN.md §15):
   ``/v1/edges:probe``, ``/v1/neighbors``, ``/v1/mutations``,
   ``/healthz``, ``/metrics``, with cross-client probe coalescing,
@@ -41,9 +47,11 @@ exercise the hash-partitioned store, thread-pool engine, and replica
 failover instead of the serial path, plus the storage-tier switches
 ``--compress`` (StreamVByte v3 adjacency records, default
 ``$REPRO_COMPRESS``), ``--mmap`` (mmap-served packed reads, default
-``$REPRO_MMAP``) and ``--executor {thread,process}`` (default
+``$REPRO_MMAP``), ``--executor {thread,process}`` (default
 ``$REPRO_EXECUTOR`` or ``thread``) selecting how the parallel engine
-fans out batches.
+fans out batches, and ``--hot-cache-bytes`` (default
+``$REPRO_HOT_CACHE`` or 0) budgeting the shard-local decoded-blob hot
+cache (DESIGN.md §16).
 """
 
 from __future__ import annotations
@@ -161,6 +169,15 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--reshard-to", type=int, default=None,
                        help="online-reshard target for --chaos "
                             "(default: shards // 2)")
+    audit.add_argument("--stream", default=None,
+                       choices=["random", "zipfian", "edges", "churn",
+                                "mixed"],
+                       help="also run the streaming differential audit: "
+                            "replay a seeded op stream against hot-cache-on "
+                            "and hot-cache-off engines and require bitwise "
+                            "identical verdicts and counters")
+    audit.add_argument("--stream-ops", type=int, default=6000,
+                       help="ops in the --stream audit (default 6000)")
 
     def add_shard_args(sub) -> None:
         sub.add_argument("--shards", type=int,
@@ -190,6 +207,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="parallel-engine fan-out mode (default: "
                               "$REPRO_EXECUTOR or thread); process mode "
                               "needs disk-backed, uncached segments")
+        sub.add_argument("--hot-cache-bytes", type=int,
+                         default=int(os.environ.get("REPRO_HOT_CACHE", "0")),
+                         help="decoded-blob hot-cache budget, split across "
+                              "shards (default: $REPRO_HOT_CACHE or 0 — "
+                              "disabled)")
 
     add_shard_args(audit)
 
@@ -214,6 +236,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="emit the registry as JSON")
     fmt.add_argument("--prometheus", action="store_true",
                      help="emit Prometheus text exposition format")
+    stats.add_argument("--filter", default=None, metavar="PREFIX",
+                       help="only export metric families whose name starts "
+                            "with PREFIX (e.g. repro_hot, repro_tuner); "
+                            "applies to all three output formats")
 
     trace = commands.add_parser(
         "trace", help="run a seeded workload with span tracing enabled"
@@ -237,19 +263,37 @@ def build_parser() -> argparse.ArgumentParser:
                        help="block-cache budget (default 0: every probe "
                             "pays real storage reads)")
     bench.add_argument("--seed", type=int, default=0)
-    bench.add_argument("--workload", choices=["random", "edges"],
+    bench.add_argument("--workload",
+                       choices=["random", "edges", "zipfian", "churn",
+                                "mixed"],
                        default="random",
-                       help="random pairs (NDF-bound) or sampled edges "
+                       help="random pairs (NDF-bound), sampled edges "
                             "(storage-bound: nothing filters, every pair "
-                            "pays a read — the regime sharding targets)")
+                            "pays a read — the regime sharding targets), "
+                            "or a streaming kind: zipfian (skewed hot-set "
+                            "probes — the regime the hot cache targets), "
+                            "churn (probe runs + write storms), mixed "
+                            "(interleaved reads and writes)")
+    bench.add_argument("--skew", type=float, default=None,
+                       help="Zipf exponent for the edges/zipfian/churn/"
+                            "mixed workloads (default: each stream's own — "
+                            "1.0 for the streaming kinds, 0.0 for edges)")
     bench.add_argument("--rounds", type=int, default=3,
-                       help="timed rounds per config after one warm-up "
-                            "(best round wins)")
+                       help="timed rounds per config after one warm-up, "
+                            "best round wins (probe-only workloads; the "
+                            "write-bearing churn/mixed streams replay once "
+                            "and report probe throughput)")
     add_shard_args(bench)
     bench.add_argument("--check-speedup", type=float, default=None,
                        metavar="X",
                        help="exit 1 unless sharded throughput >= X * serial "
                             "(the CI smoke gate)")
+    bench.add_argument("--check-hot-speedup", type=float, default=None,
+                       metavar="X",
+                       help="exit 1 unless the sharded config with the hot "
+                            "cache on reaches X * the same config with it "
+                            "off (budget: --hot-cache-bytes, or 4 MiB if "
+                            "unset)")
 
     serve = commands.add_parser(
         "serve", help="serve a VendGraphDB over HTTP/JSON (DESIGN.md §15)"
@@ -466,6 +510,24 @@ def _cmd_audit(args) -> int:
             )
             print(report.summary())
             failed += 0 if report.ok else 1
+    if args.stream:
+        from .devtools import audit_stream
+
+        hot = args.hot_cache_bytes or (1 << 20)
+        print(f"stream audit: kind={args.stream} ops={args.stream_ops} "
+              f"shards={args.shards} workers={args.workers or args.shards} "
+              f"executor={args.executor} hot_cache_bytes={hot}")
+        for name in names:
+            report = audit_stream(
+                graph, create_solution(name, k=args.k),
+                stream_kind=args.stream, shards=args.shards,
+                workers=args.workers or args.shards, seed=args.seed,
+                ops=args.stream_ops, hot_cache_bytes=hot,
+                compress=args.compress, use_mmap=args.mmap,
+                executor=args.executor,
+            )
+            print(report.summary())
+            failed += 0 if report.ok else 1
     if args.chaos:
         from .devtools import audit_chaos
         from .storage.faults import FAULT_SEED_ENV
@@ -515,9 +577,12 @@ def _obs_workload(args) -> None:
     compress = getattr(args, "compress", False)
     use_mmap = getattr(args, "mmap", False)
     executor = getattr(args, "executor", "thread")
+    hot_bytes = getattr(args, "hot_cache_bytes", 0)
     cache_bytes = args.cache_bytes if executor == "thread" else 0
     with contextlib.ExitStack() as stack:
-        if compress or use_mmap or executor == "process":
+        if compress or use_mmap or executor == "process" or hot_bytes:
+            # The hot cache lives in the disk tier, so asking for it
+            # implies a disk-backed store just like the other switches.
             tmp = stack.enter_context(tempfile.TemporaryDirectory())
             path = Path(tmp) / "adjacency.log"
         else:
@@ -527,7 +592,8 @@ def _obs_workload(args) -> None:
                          shards=args.shards, workers=args.workers,
                          compress=compress, use_mmap=use_mmap,
                          executor=executor,
-                         replicas=getattr(args, "replicas", 0))
+                         replicas=getattr(args, "replicas", 0),
+                         hot_cache_bytes=hot_bytes)
         db.load_graph(graph)
         edges = sorted(graph.edges())[:args.updates]
         for u, v in edges:
@@ -543,20 +609,40 @@ def _obs_workload(args) -> None:
         db.close()
 
 
+def _prom_family_name(line: str) -> str:
+    """Metric-family name a Prometheus exposition line belongs to."""
+    if line.startswith("#"):
+        parts = line.split(None, 3)
+        return parts[2] if len(parts) >= 3 else ""
+    return line.split("{", 1)[0].split(None, 1)[0]
+
+
 def _cmd_stats(args) -> int:
     from .obs import default_registry
 
     registry = default_registry()
     _obs_workload(args)
+    prefix = args.filter
     if args.json:
         import json
 
-        print(json.dumps(registry.to_json(), indent=2))
+        doc = registry.to_json()
+        if prefix:
+            doc["metrics"] = [family for family in doc["metrics"]
+                              if family["name"].startswith(prefix)]
+        print(json.dumps(doc, indent=2))
         return 0
     if args.prometheus:
-        print(registry.to_prometheus(), end="")
+        text = registry.to_prometheus()
+        if prefix:
+            kept = [line for line in text.splitlines()
+                    if _prom_family_name(line).startswith(prefix)]
+            text = "".join(f"{line}\n" for line in kept)
+        print(text, end="")
         return 0
     for name, value in sorted(registry.snapshot().items()):
+        if prefix and not name.startswith(prefix):
+            continue
         print(f"{name} {value}")
     return 0
 
@@ -588,26 +674,25 @@ def _timed_batch(db, us, vs) -> float:
 def _cmd_bench(args) -> int:
     import tempfile
 
-    import numpy as np
-
     from .apps import VendGraphDB
     from .graph import powerlaw_graph
+    from .workloads import make_stream, run_stream
 
     graph = powerlaw_graph(args.vertices, args.avg_degree, seed=args.seed)
-    if args.workload == "edges":
-        edges = sorted(graph.edges())
-        rng = np.random.default_rng(args.seed + 1)
-        idx = rng.integers(0, len(edges), size=args.pairs)
-        pairs = [edges[i] for i in idx]
-    else:
-        pairs = random_pairs(graph, args.pairs, seed=args.seed + 1)
-    us = np.asarray([u for u, _ in pairs], dtype=np.int64)
-    vs = np.asarray([v for _, v in pairs], dtype=np.int64)
+    stream_kwargs = {}
+    if args.skew is not None and args.workload != "random":
+        stream_kwargs["skew"] = args.skew
+    stream = make_stream(args.workload, graph, args.pairs,
+                         seed=args.seed + 1, **stream_kwargs)
+    counts = stream.op_counts()
+    probe_only = counts.get("insert", 0) == 0 and counts.get("delete", 0) == 0
 
     cache_bytes = args.cache_bytes if args.executor == "thread" else 0
 
     def throughput(shards: int, workers: int | None,
-                   executor: str = "thread") -> float:
+                   executor: str = "thread",
+                   hot_bytes: int | None = None) -> float:
+        hot = args.hot_cache_bytes if hot_bytes is None else hot_bytes
         with tempfile.TemporaryDirectory() as tmp:
             db = VendGraphDB(Path(tmp) / "adjacency.log", k=args.k,
                              method=args.method,
@@ -615,18 +700,34 @@ def _cmd_bench(args) -> int:
                              shards=shards, workers=workers,
                              compress=args.compress, use_mmap=args.mmap,
                              executor=executor,
-                             replicas=(args.replicas if shards > 1 else 0))
+                             replicas=(args.replicas if shards > 1 else 0),
+                             hot_cache_bytes=hot)
             db.load_graph(graph)
-            db.has_edge_batch(us, vs)  # warm-up: page cache + checksums
-            best = min(_timed_batch(db, us, vs)
-                       for _ in range(max(args.rounds, 1)))
+            if probe_only:
+                us, vs = stream.us, stream.vs
+                # Warm-up: page cache, first-touch checksums, hot-cache
+                # admission (the sketch needs one pass of traffic).
+                db.has_edge_batch(us, vs)
+                best = min(_timed_batch(db, us, vs)
+                           for _ in range(max(args.rounds, 1)))
+                rate = len(stream) / best
+            else:
+                # Writes mutate state, so best-of-rounds over the same
+                # stream would time a different database each round:
+                # warm with a probe pass over the opening pairs, then
+                # one faithful replay, scored on probe wall time.
+                warm = min(len(stream), 4096)
+                db.has_edge_batch(stream.us[:warm], stream.vs[:warm])
+                result = run_stream(db, stream)
+                rate = result.probe_throughput
             db.close()
-        return len(pairs) / best
+        return rate
 
+    probes = int(counts.get("probe", len(stream)))
     print(f"bench graph: |V|={graph.num_vertices} |E|={graph.num_edges} "
-          f"pairs={len(pairs)} seed={args.seed} "
-          f"compress={args.compress} mmap={args.mmap} "
-          f"executor={args.executor}")
+          f"workload={stream.name} ops={len(stream)} probes={probes} "
+          f"seed={args.seed} compress={args.compress} mmap={args.mmap} "
+          f"executor={args.executor} hot={args.hot_cache_bytes}")
     serial = throughput(1, None)
     print(f"serial              : {serial:>12.0f} pairs/s")
     shards = max(args.shards, 2)
@@ -634,11 +735,28 @@ def _cmd_bench(args) -> int:
     speedup = sharded / serial
     print(f"sharded s={shards} w={args.workers or shards}     : "
           f"{sharded:>12.0f} pairs/s  ({speedup:.2f}x)")
+    failed = False
     if args.check_speedup is not None and speedup < args.check_speedup:
         print(f"bench: FAIL speedup {speedup:.2f}x < "
               f"required {args.check_speedup:.2f}x")
-        return 1
-    return 0
+        failed = True
+    if args.check_hot_speedup is not None:
+        budget = args.hot_cache_bytes or (4 << 20)
+        if args.hot_cache_bytes:
+            hot, cold = sharded, throughput(shards, args.workers,
+                                            args.executor, hot_bytes=0)
+        else:
+            hot = throughput(shards, args.workers, args.executor,
+                             hot_bytes=budget)
+            cold = sharded
+        hot_speedup = hot / cold if cold else 0.0
+        print(f"hot cache {budget >> 10}KiB    : {hot:>12.0f} pairs/s  "
+              f"({hot_speedup:.2f}x vs cold)")
+        if hot_speedup < args.check_hot_speedup:
+            print(f"bench: FAIL hot-cache speedup {hot_speedup:.2f}x < "
+                  f"required {args.check_hot_speedup:.2f}x")
+            failed = True
+    return 1 if failed else 0
 
 
 def _server_db(args, empty: bool):

@@ -34,6 +34,8 @@ _EXPORTS = {
     "audit_parallel_engine": ".audit",
     "ChaosAuditReport": ".audit",
     "audit_chaos": ".audit",
+    "StreamAuditReport": ".audit",
+    "audit_stream": ".audit",
     "FuzzReport": ".fuzz",
     "PoisonedFilter": ".fuzz",
     "ShadowGraph": ".fuzz",

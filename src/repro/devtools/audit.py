@@ -40,6 +40,8 @@ __all__ = [
     "audit_parallel_engine",
     "ChaosAuditReport",
     "audit_chaos",
+    "StreamAuditReport",
+    "audit_stream",
 ]
 
 
@@ -647,4 +649,160 @@ def audit_chaos(graph: Graph, solution: VendSolution, shards: int = 4,
     parallel.close()
     serial_store.close()
     sharded_store.close()
+    return report
+
+
+@dataclass
+class StreamAuditReport:
+    """Outcome of one hot-cache-on-vs-off streaming differential audit."""
+
+    solution: str
+    stream: str
+    shards: int
+    seed: int
+    ops: int = 0
+    probes_checked: int = 0
+    inserts: int = 0
+    deletes: int = 0
+    false_noedges: int = 0
+    verdict_mismatches: int = 0
+    stats_mismatches: list[str] = field(default_factory=list)
+    hot_hits: int = 0
+    hot_invalidations: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return (not self.false_noedges and not self.verdict_mismatches
+                and not self.stats_mismatches)
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else (
+            f"FAIL (false_noedges={self.false_noedges} "
+            f"mismatches={self.verdict_mismatches} "
+            f"stats={self.stats_mismatches})"
+        )
+        return (
+            f"{self.solution:<10} stream={self.stream} shards={self.shards} "
+            f"seed={self.seed} probes={self.probes_checked} "
+            f"writes={self.inserts}+{self.deletes} "
+            f"hot_hits={self.hot_hits} "
+            f"hot_invalidations={self.hot_invalidations} {status}"
+        )
+
+
+_STORAGE_PARITY_FIELDS = ("disk_reads", "bytes_read", "disk_writes",
+                          "bytes_written")
+
+
+def audit_stream(graph: Graph, solution: VendSolution,
+                 stream_kind: str = "churn", shards: int = 4,
+                 workers: int = 4, seed: int = 0, ops: int = 6000,
+                 hot_cache_bytes: int = 1 << 20, compress: bool = True,
+                 use_mmap: bool = True,
+                 executor: str = "thread") -> StreamAuditReport:
+    """Churn-storm differential audit: hot cache on vs off, bit for bit.
+
+    Replays one seeded :func:`~repro.workloads.streams.make_stream`
+    workload through two identically configured shard-parallel engines
+    — the only difference being ``hot_cache_bytes`` — applying every
+    write to both stores and to a shadow ground-truth graph.  After
+    every probe run it checks:
+
+    - **verdict equivalence** — the hot engine answers bitwise
+      identically to the cold one (the stats-transparency contract
+      survives write storms, i.e. invalidation actually works);
+    - **soundness** — neither engine produces a false no-edge verdict
+      against the shadow graph;
+    - **stats parity** — at end of stream, query counters *and*
+      logical storage counters (``disk_reads``/``bytes_read``/…) agree
+      exactly between the two configurations.
+
+    The filter is shared and rebuilt from the shadow graph after each
+    write storm, so probe verdicts isolate the storage tier — a stale
+    hot-cache entry has nowhere to hide behind filter noise.
+    """
+    import contextlib
+    import tempfile
+    from pathlib import Path
+
+    import numpy as np
+
+    from ..apps.edge_query import ParallelEdgeQueryEngine
+    from ..storage import ShardedGraphStore
+    from ..workloads.streams import OP_INSERT, OP_PROBE, make_stream
+
+    stream = make_stream(stream_kind, graph, ops, seed=seed)
+    report = StreamAuditReport(
+        solution=getattr(solution, "name", "?"), stream=stream.name,
+        shards=shards, seed=seed, ops=len(stream),
+    )
+    shadow = Graph(sorted(graph.edges()))
+    solution.build(shadow)
+    with contextlib.ExitStack() as stack:
+        base = Path(stack.enter_context(tempfile.TemporaryDirectory()))
+        stores = []
+        engines = []
+        for tag, hot in (("cold", 0), ("hot", hot_cache_bytes)):
+            store = ShardedGraphStore(base / f"{tag}.log", num_shards=shards,
+                                      compress=compress, use_mmap=use_mmap,
+                                      hot_cache_bytes=hot)
+            store.bulk_load(graph)
+            stores.append(store)
+            engines.append(ParallelEdgeQueryEngine(store, solution,
+                                                   workers=workers,
+                                                   executor=executor))
+        cold_store, hot_store = stores
+        cold, hot = engines
+        filter_stale = False
+        for kind, start, end in stream.segments():
+            if kind == OP_PROBE:
+                if filter_stale:
+                    solution.build(shadow)
+                    filter_stale = False
+                us = stream.us[start:end]
+                vs = stream.vs[start:end]
+                expected = cold.has_edge_batch(us, vs)
+                got = hot.has_edge_batch(us, vs)
+                report.probes_checked += end - start
+                report.verdict_mismatches += int((expected != got).sum())
+                truth = np.fromiter(
+                    (shadow.has_edge(int(u), int(v))
+                     for u, v in zip(us, vs)),
+                    dtype=bool, count=end - start,
+                )
+                report.false_noedges += int((truth & ~got).sum())
+                report.false_noedges += int((truth & ~expected).sum())
+                continue
+            for i in range(start, end):
+                u, v = int(stream.us[i]), int(stream.vs[i])
+                if kind == OP_INSERT:
+                    shadow.add_edge(u, v)
+                    cold_store.insert_edge(u, v)
+                    hot_store.insert_edge(u, v)
+                    report.inserts += 1
+                else:
+                    shadow.remove_edge(u, v)
+                    cold_store.delete_edge(u, v)
+                    hot_store.delete_edge(u, v)
+                    report.deletes += 1
+            filter_stale = True
+        for name in _PARITY_FIELDS:
+            cold_value = getattr(cold.stats, name)
+            hot_value = getattr(hot.stats, name)
+            if cold_value != hot_value:
+                report.stats_mismatches.append(
+                    f"query.{name}: cold={cold_value} hot={hot_value}")
+        for name in _STORAGE_PARITY_FIELDS:
+            cold_value = getattr(cold_store.stats, name)
+            hot_value = getattr(hot_store.stats, name)
+            if cold_value != hot_value:
+                report.stats_mismatches.append(
+                    f"storage.{name}: cold={cold_value} hot={hot_value}")
+        for cache in hot_store.hot_caches():
+            report.hot_hits += cache.stats.hits
+            report.hot_invalidations += cache.stats.invalidations
+        for engine in engines:
+            engine.close()
+        for store in stores:
+            store.close()
     return report

@@ -31,6 +31,7 @@ from .views import (
     QueryStats,
     StatsView,
     StorageStats,
+    TunerStats,
 )
 
 __all__ = [
@@ -51,4 +52,5 @@ __all__ = [
     "MaintenanceStats",
     "FaultStats",
     "DatabaseStats",
+    "TunerStats",
 ]

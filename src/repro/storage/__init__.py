@@ -9,6 +9,7 @@ from .faults import (
     SimulatedCrashError,
 )
 from .graphstore import GraphStore
+from .hotcache import CountMinSketch, HotSetCache
 from .kvstore import (
     CorruptRecordError,
     DiskKVStore,
@@ -17,9 +18,14 @@ from .kvstore import (
 )
 from .replication import ReplicatedShard, ReplicationStats
 from .sharding import ReshardStats, ShardedGraphStore, ShardRouter
+from .tuning import AdaptiveTuner, TunerDecision
 
 __all__ = [
     "LRUCache",
+    "HotSetCache",
+    "CountMinSketch",
+    "AdaptiveTuner",
+    "TunerDecision",
     "GraphStore",
     "ShardRouter",
     "ShardedGraphStore",

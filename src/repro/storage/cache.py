@@ -25,10 +25,28 @@ __all__ = ["LRUCache"]
 _MISSING = object()
 
 
+def _sizeof(value) -> int:
+    """Billable byte size of a cached value.
+
+    ``len()`` is correct for ``bytes``/``bytearray``/lists but counts
+    *elements* for an ndarray — a cached ``uint32`` adjacency array
+    would be billed at a quarter of its real footprint (and an
+    ``nbytes``-oversized array could pass the capacity check on its
+    element count).  Buffers that know their byte size (``ndarray``,
+    ``memoryview``) are billed by ``nbytes``; everything else keeps the
+    historical ``len()`` accounting.
+    """
+    nbytes = getattr(value, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
+    return len(value)
+
+
 class LRUCache:
     """Least-recently-used cache with a byte-size capacity.
 
-    Values must expose ``len()`` (bytes / lists both work).  An entry
+    Values must expose ``nbytes`` (ndarrays, memoryviews) or ``len()``
+    (bytes / lists); see :func:`_sizeof`.  An entry
     larger than the whole capacity cannot be cached: ``put`` drops it
     *and* evicts any stale value already stored under the key, so the
     cache never serves an outdated version of an oversized record.
@@ -94,24 +112,24 @@ class LRUCache:
 
     def put(self, key, value) -> None:
         """Insert/overwrite ``key``, evicting LRU entries as needed."""
-        value_size = len(value)
+        value_size = _sizeof(value)
         with self._lock:
             if value_size > self.capacity_bytes:
                 # Uncacheable: drop the stale entry rather than serve it.
                 if key in self._data:
-                    self._size -= len(self._data[key])
+                    self._size -= _sizeof(self._data[key])
                     del self._data[key]
                     self._stats.inc("evictions")
                     self._sync_gauges()
                 return
             if key in self._data:
-                self._size -= len(self._data[key])
+                self._size -= _sizeof(self._data[key])
                 del self._data[key]
             self._data[key] = value
             self._size += value_size
             while self._size > self.capacity_bytes:
                 _, evicted = self._data.popitem(last=False)
-                self._size -= len(evicted)
+                self._size -= _sizeof(evicted)
                 self._stats.inc("evictions")
             self._sync_gauges()
 
@@ -119,7 +137,7 @@ class LRUCache:
         """Drop ``key`` if present (used on updates/deletes)."""
         with self._lock:
             if key in self._data:
-                self._size -= len(self._data[key])
+                self._size -= _sizeof(self._data[key])
                 del self._data[key]
                 self._stats.inc("invalidations")
                 self._sync_gauges()

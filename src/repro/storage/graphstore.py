@@ -81,25 +81,32 @@ class GraphStore:
         A pre-built KV store (e.g. a
         :class:`~repro.storage.faults.FaultInjectingKVStore` wrapping a
         disk store).  Overrides ``path``/``cache_bytes`` when given.
-    compress / use_mmap:
+    compress / use_mmap / hot_cache_bytes:
         Forwarded to :class:`~repro.storage.kvstore.DiskKVStore`
-        (StreamVByte blob records / mmap read path).  Ignored for
-        in-memory and pre-built stores.
+        (StreamVByte blob records / mmap read path / decoded-blob hot
+        cache budget).  Ignored for in-memory and pre-built stores.
     """
 
     def __init__(self, path: str | Path | None = None, cache_bytes: int = 0,
-                 kv=None, compress: bool = False, use_mmap: bool = False):
+                 kv=None, compress: bool = False, use_mmap: bool = False,
+                 hot_cache_bytes: int = 0):
         if kv is not None:
             self._kv = kv
         elif path is None:
             self._kv = InMemoryKVStore(cache_bytes=cache_bytes)
         else:
             self._kv = DiskKVStore(path, cache_bytes=cache_bytes,
-                                   compress=compress, use_mmap=use_mmap)
+                                   compress=compress, use_mmap=use_mmap,
+                                   hot_cache_bytes=hot_cache_bytes)
 
     @property
     def stats(self) -> StorageStats:
         return self._kv.stats
+
+    @property
+    def hot_cache(self):
+        """The backing store's decoded-blob hot cache, or None."""
+        return getattr(self._kv, "hot_cache", None)
 
     @property
     def degraded(self) -> bool:
@@ -237,6 +244,35 @@ class GraphStore:
             raise ValueError("endpoint arrays must be aligned")
         if len(us) == 0:
             return np.zeros(0, dtype=bool)
+        hot = getattr(self._kv, "hot_cache", None)
+        if hot is not None:
+            # The frequency sketch must see the *raw* pre-dedup stream:
+            # after np.unique every vertex appears once per batch and a
+            # Zipfian hot set is indistinguishable from uniform noise.
+            hot.observe(us)
+            served = hot.probe_verdicts(us, vs)
+            if served is not None:
+                # Membership fast path: probes whose source vertex is
+                # cached are answered straight from the decoded
+                # snapshot — no dedup, no byte gather, no per-batch
+                # sweep reconstruction.  Only the cold remainder walks
+                # the full fetch path below (which also handles
+                # admission and the missing-vertex KeyError).
+                hit, verdicts, n_unique, stored = served
+                if n_unique:
+                    self._kv.book_hot_serves(n_unique, stored,
+                                             receipt=receipt)
+                if hit.all():
+                    return verdicts
+                miss = ~hit
+                verdicts[miss] = self._probe_cold(us[miss], vs[miss],
+                                                  receipt)
+                return verdicts
+        return self._probe_cold(us, vs, receipt)
+
+    def _probe_cold(self, us: np.ndarray, vs: np.ndarray,
+                    receipt: ReadReceipt | None) -> np.ndarray:
+        """The fetch-and-sweep half of :meth:`probe_edges`."""
         unique_us, group = np.unique(us, return_inverse=True)
         packed = getattr(self._kv, "get_many_packed", None)
         with default_tracer().span("storage_multi_get"):

@@ -74,6 +74,7 @@ from ..simd.streamvbyte import (
     encode_blob,
 )
 from .cache import LRUCache
+from .hotcache import HotSetCache
 
 __all__ = [
     "StorageStats",
@@ -245,11 +246,22 @@ class DiskKVStore:
     use_mmap:
         When True, the packed read tier gathers from an mmap view of
         the log (falling back to positional reads when mapping fails).
+    hot_cache_bytes:
+        Budget for the decoded-blob hot cache
+        (:class:`~repro.storage.hotcache.HotSetCache`); 0 disables it.
+        The hot cache is **stats-transparent**: a hot hit books the
+        same logical ``disk_reads``/``bytes_read`` the stored record's
+        cold read would (exactly like the mmap tier books reads it
+        served from the page cache), so every counter and verdict is
+        bitwise identical with the cache on or off — its effect shows
+        up only as wall-clock speed and in its own ``repro_cache``
+        series.  Entries are invalidated exactly on ``put``/``delete``
+        of their key and wholesale on ``compact``.
     """
 
     def __init__(self, path: str | Path, cache_bytes: int = 0,
                  verify_reads: bool = True, compress: bool = False,
-                 use_mmap: bool = False):
+                 use_mmap: bool = False, hot_cache_bytes: int = 0):
         self.path = Path(path)
         self.stats = StorageStats()
         self.verify_reads = verify_reads
@@ -277,6 +289,8 @@ class DiskKVStore:
         self._vindex: tuple[np.ndarray, np.ndarray, np.ndarray,
                             np.ndarray, np.ndarray, np.ndarray] | None = None
         self._cache = LRUCache(cache_bytes) if cache_bytes > 0 else None
+        self._hot = (HotSetCache(hot_cache_bytes)
+                     if hot_cache_bytes > 0 else None)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._file = open(self.path, "a+b")
         self._file.seek(0, os.SEEK_END)
@@ -303,6 +317,11 @@ class DiskKVStore:
     def format_version(self) -> int:
         """2 for checksummed logs, 1 for legacy logs (until compacted)."""
         return self._format
+
+    @property
+    def hot_cache(self) -> HotSetCache | None:
+        """The decoded-blob hot cache, or None when disabled."""
+        return self._hot
 
     def __len__(self) -> int:
         return len(self._index)
@@ -399,6 +418,10 @@ class DiskKVStore:
         self._update_compression_gauge()
         if self._cache is not None:
             self._cache.put(key, value)
+        if self._hot is not None:
+            # Exact invalidation: the cached decode no longer matches
+            # the live record.  Re-admission happens on the next read.
+            self._hot.evict(key)
 
     def _validate_record(self, key: int, offset: int, size: int,
                          crc: int | None, rtype: int, raw_size: int,
@@ -424,6 +447,25 @@ class DiskKVStore:
             # open rebuilds the index and re-arms every crc.
             self._index[key] = (offset, size, None, rtype, raw_size)
             self._vindex = None
+
+    def _verify_keys(self, keys) -> None:
+        """First-touch checksum for freshly written records, unbooked.
+
+        Verification I/O is maintenance, not service: the caller books
+        the one logical read per key on the fast path it then takes, so
+        booking here would double-count.  ``_validate_record`` disarms
+        each crc, keeping this a once-per-open cost per record.
+        """
+        if self._pending_flush:
+            self._file.flush()
+            self._pending_flush = False
+        for key in keys.tolist():
+            offset, size, crc, rtype, raw_size = self._index[key]
+            if crc is None:
+                continue
+            value = os.pread(self._read_fd, size, offset)
+            self._validate_record(key, offset, size, crc, rtype,
+                                  raw_size, value)
 
     def _read_record(self, key: int, offset: int, size: int,
                      crc: int | None, rtype: int, raw_size: int,
@@ -461,6 +503,20 @@ class DiskKVStore:
                     receipt.count_cache_hit()
                 return cached
             self.stats.inc("cache_misses")
+        if self._hot is not None:
+            hot = self._hot.get(key)
+            if hot is not None:
+                value, stored = hot
+                # Stats-transparent: book the logical read the stored
+                # record would have cost (mmap-tier precedent), and
+                # fill the block cache exactly as the cold path would.
+                self.stats.inc("disk_reads")
+                self.stats.inc("bytes_read", stored)
+                if receipt is not None:
+                    receipt.count_disk_read(stored)
+                if self._cache is not None:
+                    self._cache.put(key, value)
+                return value
         loc = self._index.get(key)
         if loc is None:
             return None
@@ -596,11 +652,14 @@ class DiskKVStore:
         one cache hit/miss per key, one disk read per uncached stored
         key — so engines using either path book the same totals.
 
-        Two tiers: with no block cache and every requested record
-        already checksum-verified this open, the whole call is numpy
-        (index lookup via ``searchsorted`` against the sorted
-        ``_vindex`` mirror) with zero per-record Python.  Otherwise a
-        per-record pass handles cache fills and first-touch checksums.
+        Two tiers: with no block cache, the whole call is numpy (index
+        lookup via ``searchsorted`` against the sorted ``_vindex``
+        mirror) with zero per-record Python — records still carrying
+        their first-touch checksum (freshly appended this open) are
+        verified in a small unbooked pre-pass first, so a trickle of
+        writes cannot demote whole probe batches off the fast tier.
+        With a block cache, a per-record pass handles cache fills and
+        checksums together.
         """
         if self._cache is None:
             vi = self._vindex
@@ -617,10 +676,17 @@ class DiskKVStore:
             found = vkeys[pos] == karr
             if not found.all():
                 raise KeyError(sorted(set(karr[~found].tolist())))
-            if not (self.verify_reads and bool(varmed[pos].any())):
-                return self._packed_vectorized(voffs[pos], vszs[pos],
-                                               vrtypes[pos], vrawszs[pos],
-                                               receipt)
+            if self.verify_reads and bool(varmed[pos].any()):
+                self._verify_keys(karr[varmed[pos]])
+                vi = self._vindex
+                if vi is None:
+                    vi = self._vindex = self._build_vindex()
+                vkeys, voffs, vszs, varmed, vrtypes, vrawszs = vi
+                pos = np.minimum(np.searchsorted(vkeys, karr),
+                                 len(vkeys) - 1)
+            return self._packed_vectorized(karr, voffs[pos], vszs[pos],
+                                           vrtypes[pos], vrawszs[pos],
+                                           receipt)
         n = len(keys)
         lengths_l = [0] * n
         cached_parts: list[tuple[int, bytes]] = []
@@ -708,6 +774,22 @@ class DiskKVStore:
                                                          dtype=np.uint8)
         return out, lengths
 
+    def book_hot_serves(self, count: int, stored_bytes: int,
+                        receipt: ReadReceipt | None = None) -> None:
+        """Book logical reads for probes served from the hot cache's
+        membership view.
+
+        The caller (``graphstore.probe_edges``) answered ``count``
+        distinct records' worth of probes without touching this store;
+        booking the reads those records would have cost keeps the
+        storage counters bitwise identical with the cache off — the
+        same stats-transparency contract the packed hit path keeps.
+        """
+        self.stats.inc("disk_reads", count)
+        self.stats.inc("bytes_read", stored_bytes)
+        if receipt is not None:
+            receipt.count_disk_reads(count, stored_bytes)
+
     def export_packed_state(self) -> dict:
         """Snapshot of the read state a detached (worker) reader needs.
 
@@ -733,6 +815,10 @@ class DiskKVStore:
             "rtypes": vrtypes,
             "rawszs": vrawszs,
             "generation": self.mutation_count,
+            # Detached readers build their own worker-side hot cache
+            # with the same budget (resizes land at the next republish).
+            "hot_cache_bytes": (self._hot.capacity_bytes
+                                if self._hot is not None else 0),
         }
 
     def _build_vindex(self) -> tuple[np.ndarray, np.ndarray, np.ndarray,
@@ -783,8 +869,9 @@ class DiskKVStore:
             spans.append((lo, hi))
         return spans
 
-    def _packed_vectorized(self, offs_u: np.ndarray, szs_u: np.ndarray,
-                           rtypes_u: np.ndarray, rawszs_u: np.ndarray,
+    def _packed_vectorized(self, keys_u: np.ndarray, offs_u: np.ndarray,
+                           szs_u: np.ndarray, rtypes_u: np.ndarray,
+                           rawszs_u: np.ndarray,
                            receipt: ReadReceipt | None,
                            ) -> tuple[np.ndarray, np.ndarray]:
         """Zero-per-record-Python tier of :meth:`get_many_packed`.
@@ -796,6 +883,12 @@ class DiskKVStore:
         page cache; otherwise only the span-read loop remains in Python
         — a handful of positional reads per batch into one
         preallocated buffer.
+
+        The hot cache slots in above both: hits are served straight
+        from cached decodes (one searchsorted + one gather, booking
+        the same logical reads the stored records would have cost),
+        only the cold remainder touches the log, and that remainder's
+        decoded bytes are offered back for admission.
         """
         n = len(offs_u)
         lengths = rawszs_u
@@ -807,6 +900,47 @@ class DiskKVStore:
         if self._pending_flush:
             self._file.flush()
             self._pending_flush = False
+        hot = self._hot
+        if hot is not None:
+            served = hot.fill_hits(keys_u, rawszs_u, out, starts)
+            if served is not None:
+                hit, stored = served
+                n_hits = int(hit.sum())
+                if n_hits:
+                    # Stats-transparent booking: a hit costs what the
+                    # stored record's read would (mmap-tier precedent).
+                    self.stats.inc("disk_reads", n_hits)
+                    self.stats.inc("bytes_read", stored)
+                    if receipt is not None:
+                        receipt.count_disk_reads(n_hits, stored)
+                    if n_hits == n:
+                        return out, lengths
+                    cold = np.flatnonzero(~hit)
+                    self._cold_assemble(offs_u[cold], szs_u[cold],
+                                        rtypes_u[cold], rawszs_u[cold],
+                                        out, starts[cold], receipt)
+                    hot.admit(keys_u[cold], out, starts[cold],
+                              rawszs_u[cold], szs_u[cold])
+                    return out, lengths
+            self._cold_assemble(offs_u, szs_u, rtypes_u, rawszs_u,
+                                out, starts, receipt)
+            hot.admit(keys_u, out, starts, rawszs_u, szs_u)
+            return out, lengths
+        self._cold_assemble(offs_u, szs_u, rtypes_u, rawszs_u,
+                            out, starts, receipt)
+        return out, lengths
+
+    def _cold_assemble(self, offs_u: np.ndarray, szs_u: np.ndarray,
+                       rtypes_u: np.ndarray, rawszs_u: np.ndarray,
+                       out: np.ndarray, slots: np.ndarray,
+                       receipt: ReadReceipt | None) -> None:
+        """Read + decode records from the log into ``out`` at ``slots``.
+
+        The storage-touching half of :meth:`_packed_vectorized`: one
+        mmap gather when the map is live, coalesced positional reads
+        otherwise, with identical logical booking either way.
+        """
+        n = len(offs_u)
         view = self._mmap_view(int((offs_u + szs_u).max()))
         if view is not None:
             # Page-cache path: no read syscalls, no staging buffer —
@@ -820,8 +954,8 @@ class DiskKVStore:
             if receipt is not None:
                 receipt.count_disk_reads(n, total_stored)
             assemble_packed(view, offs_u, szs_u, rtypes_u, rawszs_u,
-                            out, starts)
-            return out, lengths
+                            out, slots)
+            return
         if n > 1 and bool((offs_u[1:] >= offs_u[:-1]).all()):
             # Sorted-key requests against a sequentially written log
             # (post bulk_load/compact) arrive offset-sorted already;
@@ -837,11 +971,10 @@ class DiskKVStore:
         src, src_offs = self._gather_spans(offs, szs, ends, spans, receipt)
         if order is None:
             assemble_packed(src, src_offs, szs, rtypes_u, rawszs_u,
-                            out, starts)
+                            out, slots)
         else:
             assemble_packed(src, src_offs, szs, rtypes_u[order],
-                            rawszs_u[order], out, starts[order])
-        return out, lengths
+                            rawszs_u[order], out, slots[order])
 
     def _gather_spans(self, offs: np.ndarray, szs: np.ndarray,
                       ends: np.ndarray, spans: list[tuple[int, int]],
@@ -972,6 +1105,8 @@ class DiskKVStore:
         self.mutation_count += 1
         if self._cache is not None:
             self._cache.evict(key)
+        if self._hot is not None:
+            self._hot.evict(key)
         return True
 
     def flush(self, sync: bool = False) -> None:
@@ -1042,6 +1177,10 @@ class DiskKVStore:
         self._recount_live_bytes()
         if self._cache is not None:
             self._cache.clear()
+        if self._hot is not None:
+            # Every offset moved; cached decodes stay byte-correct but
+            # the stored sizes they book may not, so drop wholesale.
+            self._hot.invalidate_all()
         return before - self.path.stat().st_size
 
     def close(self) -> None:
@@ -1157,11 +1296,14 @@ class InMemoryKVStore:
     store, so cache-statistics tests have backend parity.
     """
 
-    def __init__(self, cache_bytes: int = 0):
+    def __init__(self, cache_bytes: int = 0, hot_cache_bytes: int = 0):
         self.stats = StorageStats()
         self.mutation_count = 0  # interface parity with DiskKVStore
         self._data: dict[int, bytes] = {}
         self._cache = LRUCache(cache_bytes) if cache_bytes > 0 else None
+        # Accepted for constructor parity; a dict store's values are
+        # already decoded in memory, so there is nothing to hot-cache.
+        self.hot_cache = None
 
     def __len__(self) -> int:
         return len(self._data)

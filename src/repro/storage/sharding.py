@@ -371,18 +371,24 @@ class ShardedGraphStore:
         Replica copies per shard.  ``replicas=R`` wraps every segment
         in a :class:`~repro.storage.replication.ReplicatedShard`
         (primary + R replicas, synchronous writes, read failover).
+    hot_cache_bytes:
+        **Total** decoded-blob hot-cache budget, split evenly across
+        the shard-local caches like ``cache_bytes`` (the adaptive
+        tuner may rebalance per shard afterwards).  Ignored when
+        ``kv_factory`` builds the stores or segments are in-memory.
     """
 
     def __init__(self, path: str | Path | None = None, num_shards: int = 1,
                  cache_bytes: int = 0, kv_factory=None,
                  compress: bool = False, use_mmap: bool = False,
-                 replicas: int = 0):
+                 replicas: int = 0, hot_cache_bytes: int = 0):
         if replicas < 0:
             raise ValueError("replicas must be >= 0")
         self._lock = _RWLock(name="ShardedGraphStore._lock")
         self._router = ShardRouter(num_shards)  # guarded-by: self._lock
         self._path = path  # guarded-by: self._lock
         self._cache_bytes = cache_bytes
+        self._hot_cache_bytes = hot_cache_bytes
         self._kv_factory = kv_factory
         self._compress = compress
         self._use_mmap = use_mmap
@@ -403,13 +409,19 @@ class ShardedGraphStore:
             path = self._path
         per_shard_cache = (self._cache_bytes // num_shards
                            if num_shards else 0)
+        # Like the block cache, the hot-cache budget is a store-wide
+        # total split evenly; the adaptive tuner rebalances per shard
+        # afterwards via HotSetCache.set_capacity.
+        per_shard_hot = (self._hot_cache_bytes // num_shards
+                         if num_shards else 0)
 
         def make(seg_path):
             if self._kv_factory is not None:
                 return GraphStore(kv=self._kv_factory(seg_path, shard))
             return GraphStore(seg_path, cache_bytes=per_shard_cache,
                               compress=self._compress,
-                              use_mmap=self._use_mmap)
+                              use_mmap=self._use_mmap,
+                              hot_cache_bytes=per_shard_hot)
 
         primary = make(self.segment_path(path, shard,
                                          generation=generation))
@@ -509,6 +521,20 @@ class ShardedGraphStore:
     def stats(self) -> _SummedStorageStats:
         """Aggregated physical I/O across every segment."""
         return _SummedStorageStats(self.segments)
+
+    def hot_caches(self) -> list:
+        """Per-segment decoded-blob hot caches (empty when disabled).
+
+        Replicated segments have none (their copies are plain block
+        stores); this is the handle the adaptive tuner iterates to
+        sample access frequencies and rebalance budgets.
+        """
+        out = []
+        for seg in self.segments:
+            hot = getattr(seg, "hot_cache", None)
+            if hot is not None:
+                out.append(hot)
+        return out
 
     @property
     def degraded(self) -> bool:
@@ -709,7 +735,8 @@ class ShardedGraphStore:
     def reshard(self, num_shards: int, path: str | Path | None = None,
                 cache_bytes=_INHERIT, kv_factory=_INHERIT,
                 compress=_INHERIT, use_mmap=_INHERIT,
-                replicas=_INHERIT) -> "ShardedGraphStore":
+                replicas=_INHERIT,
+                hot_cache_bytes=_INHERIT) -> "ShardedGraphStore":
         """Offline reshard: migrate every record into a new S′-shard store.
 
         Rows move between segments but are never rewritten: resharding
@@ -718,7 +745,8 @@ class ShardedGraphStore:
         decides *placement*, never encoding.
 
         Storage configuration — ``compress``, ``use_mmap``,
-        ``cache_bytes``, ``kv_factory``, ``replicas`` — is **inherited
+        ``cache_bytes``, ``hot_cache_bytes``, ``kv_factory``,
+        ``replicas`` — is **inherited
         from this store** unless explicitly overridden, so resharding a
         compressed+mmap deployment yields a compressed+mmap target (it
         used to silently drop every knob).  ``path`` stays explicit:
@@ -740,6 +768,9 @@ class ShardedGraphStore:
             compress=(self._compress if compress is _INHERIT else compress),
             use_mmap=(self._use_mmap if use_mmap is _INHERIT else use_mmap),
             replicas=(self._replicas if replicas is _INHERIT else replicas),
+            hot_cache_bytes=(self._hot_cache_bytes
+                             if hot_cache_bytes is _INHERIT
+                             else hot_cache_bytes),
         )
         with self._lock.read():
             for seg in self._segments:

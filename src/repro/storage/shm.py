@@ -46,6 +46,7 @@ from multiprocessing import resource_tracker, shared_memory
 import numpy as np
 
 from .graphstore import membership_sweep
+from .hotcache import HotSetCache
 from .kvstore import assemble_packed
 
 __all__ = [
@@ -230,6 +231,14 @@ class MappedShardReader:
         self._mmap = mmap.mmap(self._file.fileno(), 0,
                                access=mmap.ACCESS_READ)
         self._view = np.frombuffer(self._mmap, dtype=np.uint8)
+        # Worker-side decoded-blob hot cache (the process executor's
+        # counterpart of the coordinator's kv-level cache).  Its
+        # lifetime is the reader's: the coordinator republishes on any
+        # mutation_count change, the stale reader is closed, and a
+        # fresh one starts cold — generation-keyed invalidation with
+        # no extra protocol.  Budget travels in the published state.
+        hot_bytes = int(state.get("hot_cache_bytes", 0) or 0)
+        self._hot = HotSetCache(hot_bytes) if hot_bytes > 0 else None
 
     def probe(self, unique_us: np.ndarray, group: np.ndarray,
               vs: np.ndarray) -> tuple[np.ndarray, int, int]:
@@ -239,7 +248,9 @@ class MappedShardReader:
         pair is the logical read accounting the coordinator books into
         the segment's ``StorageStats`` (one read per unique left
         endpoint, stored bytes — identical to what the in-process
-        packed tier would have booked).
+        packed tier would have booked).  The hot cache changes only
+        where decoded bytes come from, never the accounting, so stats
+        stay bitwise identical to thread mode and to hot-off runs.
         """
         pos = np.searchsorted(self.keys, unique_us)
         pos = np.minimum(pos, max(len(self.keys) - 1, 0))
@@ -250,12 +261,31 @@ class MappedShardReader:
             raise KeyError(f"vertices {sorted(missing.tolist())} "
                            f"are not stored")
         offs = self.offs[pos]
-        szs = self.szs[pos]
+        szs = self.szs[pos].astype(np.int64)
         rtypes = self.rtypes[pos]
         rawszs = self.rawszs[pos].astype(np.int64)
         starts = np.concatenate(([0], np.cumsum(rawszs)[:-1]))
         out = np.empty(int(rawszs.sum()), dtype=np.uint8)
-        assemble_packed(self._view, offs, szs, rtypes, rawszs, out, starts)
+        hot = self._hot
+        if hot is not None:
+            hot.observe(unique_us[group])  # raw pre-dedup stream
+            served = hot.fill_hits(unique_us, rawszs, out, starts)
+            if served is not None and served[0].any():
+                hit = served[0]
+                if not hit.all():
+                    cold = np.flatnonzero(~hit)
+                    assemble_packed(self._view, offs[cold], szs[cold],
+                                    rtypes[cold], rawszs[cold], out,
+                                    starts[cold])
+                    hot.admit(unique_us[cold], out, starts[cold],
+                              rawszs[cold], szs[cold])
+            else:
+                assemble_packed(self._view, offs, szs, rtypes, rawszs,
+                                out, starts)
+                hot.admit(unique_us, out, starts, rawszs, szs)
+        else:
+            assemble_packed(self._view, offs, szs, rtypes, rawszs, out,
+                            starts)
         verdicts = membership_sweep(out, rawszs // 4, group, vs)
         return verdicts, len(unique_us), int(szs.sum())
 

@@ -1,0 +1,295 @@
+"""Adaptive hot-cache tuner: budget from measured skew (DESIGN.md §16).
+
+The :class:`~repro.storage.hotcache.HotSetCache` makes one promise —
+serve the hot set from memory without perturbing verdicts or counters —
+but it cannot know how big the hot set *is*.  That is a property of the
+workload, and workloads drift: a Zipfian morning becomes a uniform
+backfill becomes a churn storm.  :class:`AdaptiveTuner` closes the
+loop:
+
+1. **Sample.**  Every cache already samples its raw probe stream into
+   a bounded ring (:meth:`HotSetCache.recent_accesses`) and a count-min
+   sketch.  Sampling-not-census is the operative idea from Tětek &
+   Thorup's "Better and Simpler Estimation of Popularity" line of
+   work: a few thousand recent accesses pin the skew well enough to
+   size a cache, at cost independent of traffic volume.
+2. **Estimate skew.**  Under a Zipf(s) workload the sample's
+   frequency-vs-rank curve is a line of slope ``-s`` in log-log space;
+   a least-squares fit over the sampled ranks is the whole estimator.
+   Uniform traffic fits ``s ≈ 0``, heavy skew fits ``s ≥ 1``.
+3. **Size the budget.**  Given ``s`` and the observed universe, the
+   smallest prefix of ranks covering ``coverage`` (default 0.9) of the
+   access mass is the hot set; budget = that many entries at the
+   measured mean decoded entry size, clamped to ``[min_bytes,
+   max_bytes]`` and applied through :meth:`HotSetCache.set_capacity`
+   (split evenly across shard-local caches).  A hysteresis band stops
+   the budget flapping on estimator noise.
+4. **Pick a maintenance mode.**  The same tick measures the store's
+   mutation rate (``mutation_count`` deltas over wall time).  Below
+   ``rebuild_threshold`` updates/sec the tuner recommends ``"hooks"``
+   (incremental per-edge index maintenance); above it, ``"rebuild"``
+   (let updates land, re-encode in one batch) — the Section V-D
+   trade-off, now driven by measurement instead of configuration.
+
+The tuner never touches cached *entries* — only ``set_capacity`` — so
+it composes with the cache's stats-transparency: resizing mid-run can
+change hit rates, never verdicts or logical counters.
+
+Run it by explicit :meth:`~AdaptiveTuner.tick` calls (benchmarks,
+tests) or as a daemon thread (:meth:`~AdaptiveTuner.start` /
+:meth:`~AdaptiveTuner.stop`).  Lock order is strictly tuner → cache
+(both leaves of the witness graph); the background loop sleeps outside
+any lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..devtools.witness import wrap_lock
+from ..obs import TunerStats
+
+__all__ = ["AdaptiveTuner", "TunerDecision", "estimate_skew"]
+
+#: Harmonic-sum rank cap: coverage solving never materializes more
+#: weights than this, whatever the observed universe claims.
+_RANK_CAP = 1 << 20
+#: Mean decoded entry size assumed before any cache holds entries.
+_DEFAULT_ENTRY_BYTES = 64
+
+
+def estimate_skew(keys: np.ndarray) -> tuple[float, int]:
+    """Zipf exponent estimate from a sampled access stream.
+
+    Returns ``(skew, distinct)``.  The estimator is the least-squares
+    slope of ``log(frequency)`` against ``log(rank)`` over the sample's
+    distinct keys, negated and floored at 0 — uniform samples come out
+    near 0.0, a Zipf(1.0) stream near 1.0.  Needs at least two distinct
+    keys and at least two distinct frequencies; degenerate samples
+    report 0.0 skew.
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    if len(keys) == 0:
+        return 0.0, 0
+    _, counts = np.unique(keys, return_counts=True)
+    distinct = len(counts)
+    if distinct < 2 or counts.min() == counts.max():
+        return 0.0, distinct
+    freqs = np.sort(counts)[::-1].astype(np.float64)
+    # Fit the head only: the sampled tail is quantized at count 1
+    # whatever the true law, and including it drags every fit toward
+    # the same flat shelf.  Keys seen at least twice carry the signal.
+    head = int(np.searchsorted(-freqs, -1.5))
+    if head >= 2:
+        freqs = freqs[:head]
+    ranks = np.arange(1, len(freqs) + 1, dtype=np.float64)
+    x = np.log(ranks)
+    y = np.log(freqs)
+    x -= x.mean()
+    slope = float((x * y).sum() / (x * x).sum())
+    return max(0.0, -slope), distinct
+
+
+def _coverage_rank(skew: float, universe: int, coverage: float) -> int:
+    """Smallest rank prefix holding ``coverage`` of Zipf(skew) mass."""
+    universe = max(1, min(int(universe), _RANK_CAP))
+    ranks = np.arange(1, universe + 1, dtype=np.float64)
+    weights = ranks ** -max(skew, 0.0)
+    mass = np.cumsum(weights)
+    mass /= mass[-1]
+    return int(np.searchsorted(mass, coverage)) + 1
+
+
+@dataclass(frozen=True)
+class TunerDecision:
+    """One tick's inputs and outcome, returned for tests and benchmarks."""
+
+    skew: float
+    distinct: int
+    sample_size: int
+    coverage_keys: int
+    mean_entry_bytes: float
+    budget_bytes: int
+    applied: bool
+    update_rate: float
+    maintenance_mode: str
+    hit_rate: float
+
+
+class AdaptiveTuner:
+    """Samples hot-cache telemetry, resizes budgets, picks maintenance.
+
+    Parameters
+    ----------
+    caches:
+        A list of :class:`~repro.storage.hotcache.HotSetCache` or a
+        zero-arg callable returning one — pass the *callable* form
+        (e.g. ``db.hot_caches``) for stores whose cache set changes
+        under reshard.
+    mutation_counter:
+        Optional zero-arg callable returning the store's cumulative
+        mutation count; enables the update-rate measurement behind the
+        hooks-vs-rebuild recommendation.
+    min_bytes, max_bytes:
+        Clamp on the total budget the tuner may choose.
+    coverage:
+        Fraction of access mass the budget should cover (τ, default
+        0.9).
+    rebuild_threshold:
+        Mutations/sec above which batch-rebuild maintenance is
+        recommended over incremental hooks.
+    hysteresis:
+        Minimum relative budget change that is worth applying (0.125 =
+        ignore moves smaller than 12.5%).
+    clock:
+        Injectable monotonic clock (tests).
+    """
+
+    def __init__(self, caches, *, mutation_counter=None,
+                 min_bytes: int = 1 << 16, max_bytes: int = 1 << 28,
+                 coverage: float = 0.9, rebuild_threshold: float = 50.0,
+                 hysteresis: float = 0.125, clock=time.monotonic,
+                 scope: str | None = None):
+        if not 0.0 < coverage <= 1.0:
+            raise ValueError("coverage must be in (0, 1]")
+        if min_bytes < 0 or max_bytes < min_bytes:
+            raise ValueError("need 0 <= min_bytes <= max_bytes")
+        self._caches = caches if callable(caches) else (lambda: list(caches))
+        self._mutations = mutation_counter
+        self.min_bytes = int(min_bytes)
+        self.max_bytes = int(max_bytes)
+        self.coverage = float(coverage)
+        self.rebuild_threshold = float(rebuild_threshold)
+        self.hysteresis = float(hysteresis)
+        self._clock = clock
+        self._lock = wrap_lock(threading.RLock(), "AdaptiveTuner._lock")
+        self._last_time: float | None = None  # guarded-by: self._lock
+        self._last_mutations = 0  # guarded-by: self._lock
+        self._mode = "hooks"  # guarded-by: self._lock
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self.stats = TunerStats(scope=scope)
+
+    @classmethod
+    def for_db(cls, db, **kwargs) -> "AdaptiveTuner":
+        """Wire a tuner to a :class:`~repro.apps.database.VendGraphDB`.
+
+        Uses the database's live ``hot_caches()`` (reshard-safe) and
+        sums segment ``mutation_count`` for the update-rate input.
+        """
+        def _mutations() -> int:
+            store = db.store
+            segments = getattr(store, "segments", None)
+            if segments is None:
+                return int(getattr(store._kv, "mutation_count", 0))
+            return sum(int(getattr(seg._kv, "mutation_count", 0))
+                       for seg in segments)
+        return cls(db.hot_caches, mutation_counter=_mutations, **kwargs)
+
+    # -- the control loop --------------------------------------------------
+
+    @property
+    def maintenance_mode(self) -> str:
+        """Latest recommendation: ``"hooks"`` or ``"rebuild"``."""
+        with self._lock:
+            return self._mode
+
+    def tick(self) -> TunerDecision:
+        """One evaluation pass: sample → estimate → resize → recommend."""
+        caches = [c for c in self._caches() if c is not None]
+        sample = (np.concatenate([c.recent_accesses() for c in caches])
+                  if caches else np.zeros(0, dtype=np.int64))
+        skew, distinct = estimate_skew(sample)
+        entries = sum(len(c) for c in caches)
+        held_bytes = sum(c.size_bytes for c in caches)
+        mean_bytes = (held_bytes / entries if entries
+                      else float(_DEFAULT_ENTRY_BYTES))
+        # The sample's distinct count lower-bounds the universe; what
+        # the caches already hold can only raise it.
+        universe = max(distinct, entries, 1)
+        coverage_keys = _coverage_rank(skew, universe, self.coverage)
+        budget = int(coverage_keys * mean_bytes)
+        budget = min(max(budget, self.min_bytes), self.max_bytes)
+
+        current = sum(c.capacity_bytes for c in caches)
+        applied = False
+        if caches and len(sample) and abs(budget - current) > (
+                self.hysteresis * max(current, 1)):
+            share = budget // len(caches)
+            for cache in caches:
+                cache.set_capacity(share)
+            applied = True
+            self.stats.inc("resizes")
+        else:
+            budget = current if caches else budget
+
+        now = self._clock()
+        update_rate = 0.0
+        mutations = self._mutations() if self._mutations is not None else 0
+        with self._lock:
+            if self._last_time is not None and now > self._last_time:
+                update_rate = ((mutations - self._last_mutations)
+                               / (now - self._last_time))
+            self._last_time = now
+            self._last_mutations = mutations
+            mode = ("rebuild" if update_rate > self.rebuild_threshold
+                    else "hooks")
+            if mode != self._mode:
+                self._mode = mode
+                self.stats.inc("mode_switches")
+
+        hits = sum(c.stats.hits for c in caches)
+        misses = sum(c.stats.misses for c in caches)
+        hit_rate = hits / (hits + misses) if hits + misses else 0.0
+        self.stats.inc("ticks")
+        self.stats.set_gauge("skew_estimate", round(skew, 4))
+        self.stats.set_gauge("budget_bytes", budget)
+        self.stats.set_gauge("update_rate", round(update_rate, 3))
+        self.stats.set_gauge("hit_rate", round(hit_rate, 4))
+        self.stats.set_gauge("rebuild_mode", int(mode == "rebuild"))
+        return TunerDecision(
+            skew=skew, distinct=distinct, sample_size=len(sample),
+            coverage_keys=coverage_keys, mean_entry_bytes=mean_bytes,
+            budget_bytes=budget, applied=applied, update_rate=update_rate,
+            maintenance_mode=mode, hit_rate=hit_rate,
+        )
+
+    # -- background operation ----------------------------------------------
+
+    def start(self, interval: float = 1.0) -> None:
+        """Run :meth:`tick` every ``interval`` seconds on a daemon thread."""
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if self._thread is not None:
+            raise RuntimeError("tuner already running")
+        self._stop.clear()
+
+        def _loop() -> None:
+            # Sleep first so a start/stop pair in a fast test does not
+            # race its tick against teardown; the wait never holds a
+            # lock (R012).
+            while not self._stop.wait(interval):
+                self.tick()
+
+        self._thread = threading.Thread(target=_loop, daemon=True,
+                                        name="repro-hot-tuner")
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the background thread (idempotent, joins briefly)."""
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout=5.0)
+        self._thread = None
+
+    def __enter__(self) -> "AdaptiveTuner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

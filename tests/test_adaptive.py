@@ -1,0 +1,172 @@
+"""Adaptive hot-cache tuner: skew estimation, budgets, mode switching.
+
+The tuner's three outputs — skew estimate, byte budget, maintenance
+mode — are each pinned here with controlled inputs: synthetic access
+samples with known Zipf exponents, caches with known entry sizes, and
+a fake clock driving the update-rate measurement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.storage.hotcache import HotSetCache
+from repro.storage.tuning import (
+    AdaptiveTuner,
+    _coverage_rank,
+    estimate_skew,
+)
+
+
+def _zipf_sample(n, universe, skew, seed=0):
+    rng = np.random.default_rng(seed)
+    weights = np.arange(1, universe + 1, dtype=np.float64) ** -skew
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    return np.searchsorted(cdf, rng.random(n))
+
+
+class TestSkewEstimator:
+    def test_separates_uniform_from_zipfian(self):
+        uniform, _ = estimate_skew(_zipf_sample(4000, 500, 0.0))
+        skewed, _ = estimate_skew(_zipf_sample(4000, 500, 1.2))
+        assert uniform < 0.35
+        assert skewed > 0.8
+        assert skewed > uniform + 0.4
+
+    def test_recovers_exponent_roughly(self):
+        for true_skew in (0.8, 1.0, 1.4):
+            est, _ = estimate_skew(_zipf_sample(8000, 300, true_skew,
+                                                seed=3))
+            assert abs(est - true_skew) < 0.4, (true_skew, est)
+
+    def test_degenerate_samples_report_zero(self):
+        assert estimate_skew(np.zeros(0, dtype=np.int64)) == (0.0, 0)
+        assert estimate_skew(np.array([5, 5, 5])) == (0.0, 1)
+        # All frequencies equal: no slope to fit.
+        skew, distinct = estimate_skew(np.array([1, 2, 3, 4]))
+        assert skew == 0.0 and distinct == 4
+
+
+class TestCoverageRank:
+    def test_uniform_needs_the_whole_universe(self):
+        assert _coverage_rank(0.0, 1000, 0.9) >= 900
+
+    def test_skewed_needs_a_small_head(self):
+        head = _coverage_rank(1.5, 100000, 0.9)
+        assert head < 10000
+
+    def test_monotone_in_coverage(self):
+        ranks = [_coverage_rank(1.0, 10000, c) for c in (0.5, 0.7, 0.9)]
+        assert ranks == sorted(ranks)
+
+
+def _warmed_cache(entry_bytes=256, entries=32, skew=1.2):
+    cache = HotSetCache(1 << 20)
+    blob = np.arange(entry_bytes // 4, dtype=np.uint32).view(np.uint8)
+    for k in range(entries):
+        cache.admit_one(k, blob.copy(), entry_bytes)
+    for chunk in range(8):
+        cache.observe(_zipf_sample(2000, 400, skew, seed=chunk))
+    return cache
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def advance(self, dt):
+        self.now += dt
+
+    def __call__(self):
+        return self.now
+
+
+class TestBudgetResize:
+    def test_resize_applied_and_split(self):
+        caches = [_warmed_cache(), _warmed_cache()]
+        tuner = AdaptiveTuner(caches, min_bytes=1 << 10,
+                              max_bytes=1 << 26, clock=FakeClock())
+        decision = tuner.tick()
+        assert decision.applied
+        assert decision.skew > 0.5
+        assert caches[0].capacity_bytes == caches[1].capacity_bytes
+        total = sum(c.capacity_bytes for c in caches)
+        assert abs(total - decision.budget_bytes) < len(caches)
+        assert tuner.stats.resizes == 1
+
+    def test_hysteresis_suppresses_small_moves(self):
+        caches = [_warmed_cache()]
+        tuner = AdaptiveTuner(caches, min_bytes=1 << 10,
+                              max_bytes=1 << 26, clock=FakeClock())
+        first = tuner.tick()
+        assert first.applied
+        # Same telemetry, same target: the second tick's move is ~0,
+        # inside the hysteresis band, so no churn.
+        second = tuner.tick()
+        assert not second.applied
+        assert tuner.stats.resizes == 1
+
+    def test_budget_clamped_to_bounds(self):
+        caches = [_warmed_cache(entry_bytes=64, entries=4, skew=0.0)]
+        tuner = AdaptiveTuner(caches, min_bytes=1 << 12, max_bytes=1 << 13,
+                              clock=FakeClock())
+        decision = tuner.tick()
+        assert 1 << 12 <= decision.budget_bytes <= 1 << 13
+
+    def test_empty_sample_never_resizes(self):
+        cache = HotSetCache(4096)
+        tuner = AdaptiveTuner([cache], clock=FakeClock())
+        decision = tuner.tick()
+        assert not decision.applied
+        assert cache.capacity_bytes == 4096
+
+
+class TestMaintenanceMode:
+    def test_mode_flips_with_measured_update_rate(self):
+        clock = FakeClock()
+        mutations = {"count": 0}
+        tuner = AdaptiveTuner([_warmed_cache()],
+                              mutation_counter=lambda: mutations["count"],
+                              rebuild_threshold=50.0, clock=clock)
+        assert tuner.tick().maintenance_mode == "hooks"
+        # 1000 mutations over 2 seconds = 500/s > 50/s: rebuild.
+        mutations["count"] += 1000
+        clock.advance(2.0)
+        decision = tuner.tick()
+        assert decision.update_rate == pytest.approx(500.0)
+        assert decision.maintenance_mode == "rebuild"
+        assert tuner.maintenance_mode == "rebuild"
+        # Quiet period drops the rate back below threshold: hooks.
+        clock.advance(10.0)
+        assert tuner.tick().maintenance_mode == "hooks"
+        assert tuner.stats.mode_switches == 2
+
+    def test_gauges_exported(self):
+        tuner = AdaptiveTuner([_warmed_cache()], clock=FakeClock())
+        tuner.tick()
+        snap = tuner.stats.snapshot()
+        for gauge in ("skew_estimate", "budget_bytes", "update_rate",
+                      "hit_rate", "rebuild_mode"):
+            assert any(gauge in name for name in snap), (gauge, snap)
+        assert tuner.stats.ticks == 1
+
+
+class TestBackgroundThread:
+    def test_start_stop_ticks(self):
+        tuner = AdaptiveTuner([_warmed_cache()])
+        tuner.start(interval=0.01)
+        import time
+        deadline = time.monotonic() + 2.0
+        while tuner.stats.ticks == 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        tuner.stop()
+        assert tuner.stats.ticks >= 1
+        ticks = tuner.stats.ticks
+        import time as _t
+        _t.sleep(0.05)
+        assert tuner.stats.ticks == ticks  # really stopped
+
+    def test_context_manager_stops(self):
+        with AdaptiveTuner([_warmed_cache()]) as tuner:
+            tuner.start(interval=0.01)
+        assert tuner._thread is None
